@@ -1,0 +1,50 @@
+"""F4 — scalability: throughput vs cluster size.
+
+Paper claim (§III): Statefun "shows lower scalability compared to
+Orleans Eventual".  The bench sweeps silo/partition count at a
+load that saturates the smallest deployment and compares speedups.
+"""
+
+import pytest
+
+from _harness import print_table, run_experiment
+
+SILO_SWEEP = (1, 2, 4)
+APPS = ("orleans-eventual", "statefun")
+
+
+def run_sweep():
+    series = {name: [] for name in APPS}
+    for name in APPS:
+        for silos in SILO_SWEEP:
+            metrics, _, _ = run_experiment(
+                name, workers=silos * 32, duration=1.2, seed=17,
+                silos=silos, cores_per_silo=2,
+                workload_kwargs={"customers": 96})
+            series[name].append(metrics.total_throughput)
+    return series
+
+
+@pytest.mark.benchmark(group="f4-scalability")
+def test_f4_scalability(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for name in APPS:
+        base = series[name][0]
+        row = {"app": name}
+        for silos, tput in zip(SILO_SWEEP, series[name]):
+            row[f"{silos} silos (tx/s)"] = round(tput, 1)
+            row[f"{silos}x speedup"] = round(tput / base, 2)
+        rows.append(row)
+    print_table("F4: throughput scaling with cluster size", rows)
+
+    # Both scale up with more silos...
+    for name in APPS:
+        assert series[name][-1] > series[name][0]
+    # ...but statefun scales worse than the eventual actor baseline
+    # (checkpoint barriers are global: they stall every partition).
+    eventual_speedup = series["orleans-eventual"][-1] / \
+        series["orleans-eventual"][0]
+    statefun_speedup = series["statefun"][-1] / series["statefun"][0]
+    assert eventual_speedup > statefun_speedup, (
+        eventual_speedup, statefun_speedup)

@@ -1,0 +1,49 @@
+"""T1 — the criteria-compliance matrix.
+
+Paper claim (§III/IV): "no single data platform supports all the core
+data management requirements"; the customized Orleans stack is the only
+configuration meeting every criterion.
+
+Each app runs the default mix (with a pinch of message loss so the
+atomicity criterion is actually exercised) and is audited against all
+five criteria; the matrix printed here is the paper's core qualitative
+result.
+"""
+
+import pytest
+
+from _harness import APP_ORDER, print_table, run_experiment
+
+
+def build_matrix():
+    rows = []
+    expectations = {}
+    for name in APP_ORDER:
+        metrics, report, _ = run_experiment(
+            name, workers=16, duration=1.5, seed=5,
+            app_kwargs={"drop_probability": 0.02})
+        rows.append(report.row())
+        expectations[name] = report
+    return rows, expectations
+
+
+@pytest.mark.benchmark(group="t1-criteria")
+def test_t1_criteria_matrix(benchmark):
+    rows, reports = benchmark.pedantic(build_matrix, rounds=1,
+                                       iterations=1)
+    print_table("T1: data management criteria compliance", rows)
+
+    # The paper's qualitative result, enforced:
+    assert reports["customized-orleans"].all_pass
+    for other in ("orleans-eventual", "orleans-transactions", "statefun"):
+        assert not reports[other].all_pass
+    # Eventual violates atomicity under loss; transactional apps do not.
+    assert not reports["orleans-eventual"].results[
+        "C1-atomicity"].passed
+    assert reports["orleans-transactions"].results[
+        "C1-atomicity"].passed
+    # Only the customized stack orders payment before shipment.
+    assert reports["customized-orleans"].results[
+        "C5-event-ordering"].passed
+    assert not reports["orleans-eventual"].results[
+        "C5-event-ordering"].passed

@@ -1,0 +1,29 @@
+"""Virtual-actor runtime in the style of Microsoft Orleans.
+
+Grains are single-threaded virtual actors addressed by (type, key);
+they are activated on demand on one of the cluster's silos, process one
+message at a time (turn-based concurrency), and may persist state via a
+grain-storage provider.  The runtime models network latency between
+silos and CPU service time on each silo's cores, which is what produces
+realistic saturation behaviour in the benchmark results.
+"""
+
+from repro.actors.cluster import Cluster, ClusterConfig
+from repro.actors.errors import GrainCallError, GrainError
+from repro.actors.grain import Grain, GrainRef
+from repro.actors.placement import ConsistentHashPlacement
+from repro.actors.silo import Silo
+from repro.actors.storage import GrainStorage, MemoryGrainStorage
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ConsistentHashPlacement",
+    "Grain",
+    "GrainCallError",
+    "GrainError",
+    "GrainRef",
+    "GrainStorage",
+    "MemoryGrainStorage",
+    "Silo",
+]

@@ -1,0 +1,187 @@
+"""The cluster: silos, placement, routing and grain references."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.actors.errors import MessageDropped, UnknownGrainType
+from repro.actors.grain import Grain, GrainRef
+from repro.actors.placement import ConsistentHashPlacement
+from repro.actors.silo import Message, Silo
+from repro.actors.storage import GrainStorage, MemoryGrainStorage
+from repro.broker import Broker
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment, Event
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Deployment and cost-model parameters for an actor cluster.
+
+    Latencies are one-way; a call pays the latency twice (request and
+    reply).  ``drop_probability`` injects message loss, which the
+    eventually-consistent implementation does not recover from — the
+    mechanism behind the paper's atomicity-violation observations.
+    """
+
+    silos: int = 4
+    cores_per_silo: int = 4
+    local_latency: float = 0.00005
+    remote_latency: float = 0.0004
+    remote_jitter: float = 0.0002
+    drop_probability: float = 0.0
+
+
+class Cluster:
+    """A set of silos with consistent-hash placement and a broker."""
+
+    def __init__(self, env: "Environment",
+                 config: ClusterConfig | None = None,
+                 broker: Broker | None = None) -> None:
+        self.env = env
+        self.config = config or ClusterConfig()
+        self.broker = broker or Broker(env)
+        self.placement = ConsistentHashPlacement()
+        self.silos: list[Silo] = []
+        for index in range(self.config.silos):
+            silo = Silo(env, f"silo-{index}", self.config.cores_per_silo)
+            self.silos.append(silo)
+            self.placement.add_silo(silo)
+        self._storages: dict[str, GrainStorage] = {
+            "default": MemoryGrainStorage(env, "default")}
+        self._grain_types: dict[str, type[Grain]] = {}
+        self._rng = env.rng("cluster")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.collections = 0
+
+    # ------------------------------------------------------------------
+    # registries
+    # ------------------------------------------------------------------
+    def register_grain(self, grain_type: type[Grain]) -> type[Grain]:
+        """Register a grain type (enables string-based references)."""
+        self._grain_types[grain_type.__name__] = grain_type
+        return grain_type
+
+    def register_storage(self, name: str, storage: GrainStorage) -> None:
+        self._storages[name] = storage
+
+    def storage(self, name: str | None) -> GrainStorage:
+        storage = self._storages.get(name or "default")
+        if storage is None:
+            raise KeyError(f"no storage provider {name!r}")
+        return storage
+
+    # ------------------------------------------------------------------
+    # references and routing
+    # ------------------------------------------------------------------
+    def grain_ref(self, grain_type: type[Grain] | str,
+                  key: str) -> GrainRef:
+        if isinstance(grain_type, str):
+            resolved = self._grain_types.get(grain_type)
+            if resolved is None:
+                raise UnknownGrainType(grain_type)
+            grain_type = resolved
+        return GrainRef(self, grain_type, key)
+
+    def silo_for(self, ref: GrainRef) -> Silo:
+        return self.placement.place(ref.type_name, ref.key)
+
+    def activation_of(self, ref: GrainRef):
+        """The live activation behind ``ref`` (creating it if needed)."""
+        silo = self.silo_for(ref)
+        return silo.activation_for(self, ref.grain_type, ref.key)
+
+    def grain_instance(self, ref: GrainRef) -> Grain:
+        """Direct access to the grain object (tests and audits only)."""
+        return self.activation_of(ref).grain
+
+    def _latency(self, caller_silo: Silo | None, target: Silo) -> float:
+        if caller_silo is target:
+            return self.config.local_latency
+        return (self.config.remote_latency
+                + self._rng.random() * self.config.remote_jitter)
+
+    def dispatch(self, ref: GrainRef, method: str, args: tuple,
+                 kwargs: dict, txn=None,
+                 caller_silo: Silo | None = None) -> "Event":
+        """Route a grain call; returns the promise for its result."""
+        promise = self.env.event()
+        target = self.silo_for(ref)
+        latency = self._latency(caller_silo, target)
+        self.messages_sent += 1
+        if (self.config.drop_probability > 0.0
+                and self._rng.random() < self.config.drop_probability):
+            self.messages_dropped += 1
+            failure = MessageDropped(
+                f"{ref.type_name}/{ref.key}.{method} lost in transit")
+            def fail_later():
+                yield self.env.timeout(latency)
+                promise.fail(failure)
+            self.env.process(fail_later(), name="drop")
+            return promise
+        message = Message(method=method, args=args, kwargs=kwargs,
+                          promise=promise, txn=txn, reply_latency=latency)
+        def deliver():
+            yield self.env.timeout(latency)
+            target.messages_received += 1
+            activation = target.activation_for(self, ref.grain_type, ref.key)
+            activation.enqueue(message)
+        self.env.process(deliver(), name=f"send:{ref.type_name}.{method}")
+        return promise
+
+    def track_oneway(self, promise: "Event") -> None:
+        """Silence failures of fire-and-forget calls (they are 'lost')."""
+        def swallow(event):
+            if not event.ok:
+                event.defuse()
+        if promise.callbacks is not None:
+            promise.callbacks.append(swallow)
+
+    # ------------------------------------------------------------------
+    # idle activation collection (Orleans activation GC analogue)
+    # ------------------------------------------------------------------
+    def enable_idle_collection(self, max_age: float,
+                               sweep_interval: float = 1.0) -> None:
+        """Periodically deactivate grains idle longer than ``max_age``.
+
+        State of storage-backed grains is persisted before collection;
+        the next call to a collected grain transparently re-activates it
+        (virtual-actor lifecycle transparency).
+        """
+        if max_age <= 0 or sweep_interval <= 0:
+            raise ValueError("max_age and sweep_interval must be > 0")
+        self.env.process(self._collection_loop(max_age, sweep_interval),
+                         name="idle-collector")
+
+    def _collection_loop(self, max_age: float, sweep_interval: float):
+        while True:
+            yield self.env.timeout(sweep_interval)
+            for silo in self.silos:
+                for activation in silo.idle_activations(max_age):
+                    yield from self._collect(silo, activation)
+
+    def _collect(self, silo: Silo, activation) -> typing.Generator:
+        grain = activation.grain
+        import inspect as _inspect
+        hook = grain.on_deactivate()
+        if _inspect.isgenerator(hook):
+            yield from hook
+        if grain.storage_name is not None:
+            storage = self.storage(grain.storage_name)
+            yield from storage.write(type(grain).__name__, grain.key,
+                                     dict(grain.state))
+        silo.deactivate(type(grain).__name__, grain.key)
+        self.collections += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_activations(self) -> int:
+        return sum(silo.activation_count for silo in self.silos)
+
+    def utilisation(self) -> dict[str, float]:
+        return {silo.name: silo.cpu.utilisation() for silo in self.silos}

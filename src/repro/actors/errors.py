@@ -1,0 +1,19 @@
+"""Error types raised by the actor runtime."""
+
+from __future__ import annotations
+
+
+class GrainError(Exception):
+    """Base class for actor-runtime errors."""
+
+
+class GrainCallError(GrainError):
+    """A grain call failed (unknown method, dropped message, ...)."""
+
+
+class MessageDropped(GrainCallError):
+    """The message was lost by the (injected-faulty) network."""
+
+
+class UnknownGrainType(GrainError):
+    """A grain type that was never registered with the cluster."""

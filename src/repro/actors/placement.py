@@ -1,0 +1,58 @@
+"""Placement: deciding which silo hosts a grain activation."""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.actors.silo import Silo
+
+
+def _hash(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode()).digest()[:8], "big")
+
+
+class ConsistentHashPlacement:
+    """Consistent-hash ring with virtual nodes.
+
+    Deterministic for a given silo set, and moves only ~1/n of grains
+    when a silo joins or leaves — matching how Orleans keeps placement
+    stable across membership changes.
+    """
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        self.virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, "Silo"]] = []
+        self._hashes: list[int] = []
+        self._silos: list["Silo"] = []
+
+    @property
+    def silos(self) -> list["Silo"]:
+        return list(self._silos)
+
+    def add_silo(self, silo: "Silo") -> None:
+        self._silos.append(silo)
+        for i in range(self.virtual_nodes):
+            point = _hash(f"{silo.name}#{i}")
+            index = bisect.bisect(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._ring.insert(index, (point, silo))
+
+    def remove_silo(self, silo: "Silo") -> None:
+        self._silos.remove(silo)
+        kept = [(point, s) for point, s in self._ring if s is not silo]
+        self._ring = kept
+        self._hashes = [point for point, _ in kept]
+
+    def place(self, grain_type_name: str, key: str) -> "Silo":
+        """The silo responsible for (grain type, key)."""
+        if not self._ring:
+            raise RuntimeError("no silos registered")
+        point = _hash(f"{grain_type_name}/{key}")
+        index = bisect.bisect(self._hashes, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]

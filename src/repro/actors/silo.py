@@ -1,0 +1,229 @@
+"""Silos and grain activations.
+
+A silo hosts grain activations and owns a CPU :class:`Resource` with a
+fixed number of cores.  Every grain-method invocation charges its CPU
+cost on the hosting silo, so a silo under heavy load queues work and
+latency climbs — the saturation behaviour the benchmark measures.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import inspect
+import itertools
+import typing
+
+from repro.actors.errors import GrainCallError
+from repro.runtime.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.actors.cluster import Cluster
+    from repro.actors.grain import Grain
+    from repro.runtime import Environment, Event
+
+_message_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Message:
+    """One grain-method invocation in flight."""
+
+    method: str
+    args: tuple
+    kwargs: dict
+    promise: "Event"
+    txn: object | None
+    reply_latency: float
+    enqueue_time: float = 0.0
+    message_id: int = dataclasses.field(
+        default_factory=lambda: next(_message_ids))
+
+
+class Activation:
+    """A live grain instance plus its mailbox and worker process."""
+
+    def __init__(self, env: "Environment", silo: "Silo",
+                 grain: "Grain") -> None:
+        self.env = env
+        self.silo = silo
+        self.grain = grain
+        self.mailbox: collections.deque[Message] = collections.deque()
+        self._wakeup: "Event | None" = None
+        self.ready: "Event" = env.event()  # fires after on_activate
+        self.processed = 0
+        self.last_activity = env.now
+        self.collected = False
+        self._timers: list["Event"] = []
+        grain.activation = self
+        env.process(self._start(), name=f"activate:{grain!r}")
+
+    # ------------------------------------------------------------------
+    def enqueue(self, message: Message) -> None:
+        message.enqueue_time = self.env.now
+        self.last_activity = self.env.now
+        self.mailbox.append(message)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # grain timers (Orleans RegisterTimer analogue)
+    # ------------------------------------------------------------------
+    def register_timer(self, interval: float, method: str,
+                       *args, **kwargs) -> None:
+        """Invoke ``method`` on this grain every ``interval`` seconds.
+
+        Timer ticks go through the normal mailbox (single-threaded with
+        ordinary messages) and stop when the activation is collected.
+        """
+        if interval <= 0:
+            raise ValueError("timer interval must be > 0")
+        self.env.process(self._timer_loop(interval, method, args, kwargs),
+                         name=f"timer:{self.grain!r}.{method}")
+
+    def _timer_loop(self, interval: float, method: str, args, kwargs):
+        while not self.collected:
+            yield self.env.timeout(interval)
+            if self.collected:
+                return
+            promise = self.env.event()
+            self.grain.cluster.track_oneway(promise)
+            self.enqueue(Message(method=method, args=args, kwargs=kwargs,
+                                 promise=promise, txn=None,
+                                 reply_latency=0.0))
+
+    # ------------------------------------------------------------------
+    def _start(self):
+        grain = self.grain
+        if grain.storage_name is not None:
+            storage = grain.cluster.storage(grain.storage_name)
+            state = yield from storage.read(type(grain).__name__, grain.key)
+            if state is not None:
+                grain.state = state
+        hook = grain.on_activate()
+        if inspect.isgenerator(hook):
+            yield from hook
+        self.ready.succeed()
+        yield from self._worker()
+
+    def _worker(self):
+        while True:
+            if not self.mailbox:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+            message = self.mailbox.popleft()
+            if self.grain.reentrant:
+                self.env.process(self._execute(message),
+                                 name=f"exec:{self.grain!r}.{message.method}")
+            else:
+                yield from self._execute(message)
+
+    def _execute(self, message: Message):
+        grain = self.grain
+        # Charge the method's CPU cost on this silo's cores.
+        yield from self.silo.cpu.use(grain.cpu_cost)
+        method = getattr(grain, message.method, None)
+        if method is None or not callable(method):
+            self._reply(message, error=GrainCallError(
+                f"{type(grain).__name__} has no method {message.method!r}"))
+            return
+        grain.current_txn = message.txn
+        try:
+            result = method(*message.args, **message.kwargs)
+            if inspect.isgenerator(result):
+                result = yield from self._drive(result, message)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            grain.current_txn = None
+            self._reply(message, error=exc)
+            return
+        grain.current_txn = None
+        self.processed += 1
+        self._reply(message, result=result)
+
+    def _drive(self, generator, message: Message):
+        """Drive a method generator, restoring the message's transaction
+        context before *every* resumption.
+
+        Reentrant grains interleave method executions on one grain
+        instance; ``grain.current_txn`` is shared state, so without this
+        restoration a method resuming after a wait would read (and
+        charge its writes to) whichever transaction ran last — the
+        actor-runtime analogue of async-local context flow.
+        """
+        grain = self.grain
+        to_send: object = None
+        to_throw: BaseException | None = None
+        while True:
+            grain.current_txn = message.txn
+            try:
+                if to_throw is not None:
+                    exc, to_throw = to_throw, None
+                    event = generator.throw(exc)
+                else:
+                    event = generator.send(to_send)
+            except StopIteration as stop:
+                return stop.value
+            try:
+                to_send = yield event
+            except BaseException as exc:  # noqa: BLE001 - re-thrown inside
+                to_throw = exc
+
+    def _reply(self, message: Message, result: object = None,
+               error: BaseException | None = None) -> None:
+        def deliver():
+            yield self.env.timeout(message.reply_latency)
+            if error is not None:
+                message.promise.fail(error)
+            else:
+                message.promise.succeed(result)
+        self.env.process(deliver(), name=f"reply:{message.method}")
+
+
+class Silo:
+    """One node of the cluster: CPU cores plus hosted activations."""
+
+    def __init__(self, env: "Environment", name: str, cores: int) -> None:
+        self.env = env
+        self.name = name
+        self.cpu = Resource(env, capacity=cores)
+        self.activations: dict[tuple[str, str], Activation] = {}
+        self.messages_received = 0
+
+    def activation_for(self, cluster: "Cluster",
+                       grain_type: type["Grain"], key: str) -> Activation:
+        """Find or create the activation for (grain_type, key)."""
+        ident = (grain_type.__name__, key)
+        activation = self.activations.get(ident)
+        if activation is None:
+            grain = grain_type()
+            grain.env = self.env
+            grain.cluster = cluster
+            grain.silo = self
+            grain.key = key
+            activation = Activation(self.env, self, grain)
+            self.activations[ident] = activation
+        return activation
+
+    def deactivate(self, grain_type_name: str, key: str) -> bool:
+        """Drop an activation (its state remains in storage)."""
+        activation = self.activations.pop((grain_type_name, key), None)
+        if activation is None:
+            return False
+        activation.collected = True
+        return True
+
+    def idle_activations(self, max_age: float) -> list[Activation]:
+        """Activations idle (empty mailbox, no recent message) longer
+        than ``max_age``."""
+        now = self.env.now
+        return [activation for activation in self.activations.values()
+                if not activation.mailbox
+                and now - activation.last_activity > max_age]
+
+    @property
+    def activation_count(self) -> int:
+        return len(self.activations)
+
+    def __repr__(self) -> str:
+        return f"<Silo {self.name} activations={self.activation_count}>"

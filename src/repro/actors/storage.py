@@ -1,0 +1,69 @@
+"""Grain storage providers (durable state behind grains)."""
+
+from __future__ import annotations
+
+import copy
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment
+
+
+class GrainStorage:
+    """Interface for grain state persistence."""
+
+    def read(self, grain_type: str, key: str):
+        """Process helper: load state (dict) or None."""
+        raise NotImplementedError
+
+    def write(self, grain_type: str, key: str, state: dict):
+        """Process helper: persist state."""
+        raise NotImplementedError
+
+    def clear(self, grain_type: str, key: str):
+        """Process helper: delete persisted state."""
+        raise NotImplementedError
+
+
+class MemoryGrainStorage(GrainStorage):
+    """In-memory storage with simulated read/write latency.
+
+    Values are deep-copied on the way in and out so that grains cannot
+    share mutable state through the store (which would hide replication
+    and atomicity anomalies the benchmark is designed to expose).
+    """
+
+    def __init__(self, env: "Environment", name: str,
+                 read_latency: float = 0.0002,
+                 write_latency: float = 0.0004) -> None:
+        self.env = env
+        self.name = name
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self._data: dict[tuple[str, str], dict] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, grain_type: str, key: str):
+        yield self.env.timeout(self.read_latency)
+        self.reads += 1
+        state = self._data.get((grain_type, key))
+        return copy.deepcopy(state) if state is not None else None
+
+    def write(self, grain_type: str, key: str, state: dict):
+        yield self.env.timeout(self.write_latency)
+        self.writes += 1
+        self._data[(grain_type, key)] = copy.deepcopy(state)
+
+    def clear(self, grain_type: str, key: str):
+        yield self.env.timeout(self.write_latency)
+        self.writes += 1
+        self._data.pop((grain_type, key), None)
+
+    def peek(self, grain_type: str, key: str) -> dict | None:
+        """Zero-latency read for audits and tests."""
+        state = self._data.get((grain_type, key))
+        return copy.deepcopy(state) if state is not None else None
+
+    def keys(self) -> list[tuple[str, str]]:
+        return list(self._data)

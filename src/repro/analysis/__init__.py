@@ -1,0 +1,29 @@
+"""Statistics helpers and anomaly analysis for benchmark reports."""
+
+from repro.analysis.stats import (
+    describe,
+    mean,
+    percentile,
+    percentiles,
+)
+from repro.analysis.anomalies import AnomalyReport
+from repro.analysis.report import (
+    criteria_rows,
+    csv_table,
+    experiment_report,
+    markdown_table,
+    metrics_rows,
+)
+
+__all__ = [
+    "AnomalyReport",
+    "criteria_rows",
+    "csv_table",
+    "experiment_report",
+    "markdown_table",
+    "metrics_rows",
+    "describe",
+    "mean",
+    "percentile",
+    "percentiles",
+]

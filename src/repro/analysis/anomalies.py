@@ -1,0 +1,52 @@
+"""Anomaly reporting: criteria violations normalised per 10k transactions.
+
+Used by the F6 experiment to compare how many anomalies each platform
+accumulates under identical workloads (optionally with injected message
+loss or failures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.criteria import CriteriaReport
+    from repro.core.driver.metrics import RunMetrics
+
+
+@dataclasses.dataclass
+class AnomalyReport:
+    """Violations per criterion, absolute and per 10k transactions."""
+
+    app: str
+    transactions: int
+    violations: dict[str, int]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.violations.values())
+
+    def per_10k(self, criterion: str | None = None) -> float:
+        if self.transactions == 0:
+            return 0.0
+        count = (self.total_violations if criterion is None
+                 else self.violations.get(criterion, 0))
+        return 10_000.0 * count / self.transactions
+
+    def row(self) -> dict:
+        row: dict[str, object] = {
+            "app": self.app, "transactions": self.transactions}
+        for criterion, count in sorted(self.violations.items()):
+            row[criterion] = count
+        row["total_per_10k"] = round(self.per_10k(), 2)
+        return row
+
+    @classmethod
+    def from_report(cls, report: "CriteriaReport",
+                    metrics: "RunMetrics") -> "AnomalyReport":
+        transactions = sum(op.count for op in metrics.ops.values())
+        return cls(
+            app=report.app, transactions=transactions,
+            violations={name: result.violations
+                        for name, result in report.results.items()})

@@ -1,0 +1,110 @@
+"""Experiment report rendering: markdown and CSV exports.
+
+Benchmark results (RunMetrics + CriteriaReport) rendered into the
+artifacts a paper pipeline needs: markdown tables for docs, CSV for
+plotting, and a combined experiment report that mirrors the layout of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.criteria import CriteriaReport
+    from repro.core.driver.metrics import RunMetrics
+
+
+def markdown_table(rows: list[dict], columns: list[str] | None = None,
+                   ) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    out = io.StringIO()
+    out.write("| " + " | ".join(str(col) for col in columns) + " |\n")
+    out.write("|" + "|".join("---" for _ in columns) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(str(row.get(col, ""))
+                                    for col in columns) + " |\n")
+    return out.getvalue()
+
+
+def csv_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict rows as CSV (no quoting needed for our numerics)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        text = str(value)
+        if "," in text or '"' in text or "\n" in text:
+            escaped = text.replace('"', '""')
+            return f'"{escaped}"'
+        return text
+
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        out.write(",".join(cell(row.get(col, "")) for col in columns)
+                  + "\n")
+    return out.getvalue()
+
+
+def metrics_rows(metrics: "RunMetrics") -> list[dict]:
+    """Flatten RunMetrics into per-operation rows."""
+    rows = []
+    for name, op in sorted(metrics.ops.items()):
+        rows.append({
+            "app": metrics.app,
+            "operation": name,
+            "ok": op.ok,
+            "rejected": op.rejected,
+            "failed": op.failed,
+            "throughput_tps": round(op.throughput, 2),
+            "p50_ms": round(op.latency["p50"] * 1000, 3),
+            "p95_ms": round(op.latency["p95"] * 1000, 3),
+            "p99_ms": round(op.latency["p99"] * 1000, 3),
+            "mean_ms": round(op.latency["mean"] * 1000, 3),
+        })
+    return rows
+
+
+def criteria_rows(reports: typing.Iterable["CriteriaReport"]) -> list[
+        dict]:
+    """One compliance-matrix row per app."""
+    return [report.row() for report in reports]
+
+
+def experiment_report(title: str,
+                      metrics: typing.Sequence["RunMetrics"],
+                      reports: typing.Sequence["CriteriaReport"] = (),
+                      notes: str = "") -> str:
+    """A full markdown experiment report (throughput + criteria)."""
+    out = io.StringIO()
+    out.write(f"# {title}\n\n")
+    if notes:
+        out.write(notes.rstrip() + "\n\n")
+    out.write("## Throughput & latency\n\n")
+    summary = [{
+        "app": entry.app,
+        "workers": entry.workers,
+        "total_tps": round(entry.total_throughput, 1),
+        "checkout_p50_ms": round(
+            entry.latency_of("checkout") * 1000, 2),
+        "checkout_p99_ms": round(
+            entry.latency_of("checkout", "p99") * 1000, 2),
+    } for entry in metrics]
+    out.write(markdown_table(summary))
+    out.write("\n## Per-operation detail\n\n")
+    detail: list[dict] = []
+    for entry in metrics:
+        detail.extend(metrics_rows(entry))
+    out.write(markdown_table(detail))
+    if reports:
+        out.write("\n## Criteria compliance\n\n")
+        out.write(markdown_table(criteria_rows(reports)))
+    return out.getvalue()

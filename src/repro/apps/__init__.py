@@ -1,0 +1,39 @@
+"""The four Online Marketplace implementations.
+
+Each app wires the shared business logic of :mod:`repro.marketplace`
+onto a different data management stack:
+
+* :class:`OrleansEventualApp` — virtual actors, eventual consistency
+  (fire-and-forget side effects, unordered events, no transactions).
+* :class:`OrleansTransactionsApp` — the same actors under distributed
+  ACID transactions (2PL + 2PC).
+* :class:`StatefunApp` — dataflow stateful functions with exactly-once
+  processing (checkpoint/replay).
+* :class:`CustomizedOrleansApp` — transactions plus an MVCC store for
+  snapshot-consistent dashboards, a causally-replicated KV store for
+  product data, and causally-ordered event topics.
+"""
+
+from repro.apps.base import AppConfig, MarketplaceApp, OperationResult
+from repro.apps.orleans_eventual import OrleansEventualApp
+from repro.apps.orleans_transactions import OrleansTransactionsApp
+from repro.apps.statefun_app import StatefunApp
+from repro.apps.customized import CustomizedOrleansApp
+
+ALL_APPS = {
+    "orleans-eventual": OrleansEventualApp,
+    "orleans-transactions": OrleansTransactionsApp,
+    "statefun": StatefunApp,
+    "customized-orleans": CustomizedOrleansApp,
+}
+
+__all__ = [
+    "ALL_APPS",
+    "AppConfig",
+    "CustomizedOrleansApp",
+    "MarketplaceApp",
+    "OperationResult",
+    "OrleansEventualApp",
+    "OrleansTransactionsApp",
+    "StatefunApp",
+]

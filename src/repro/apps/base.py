@@ -1,0 +1,128 @@
+"""The app interface the benchmark driver runs against.
+
+Every implementation exposes the same operations — the five business
+transactions of Online Marketplace plus cart item management and data
+ingestion.  Operations are *process helpers* (``yield from app.op(...)``)
+so that every implementation charges its own simulated costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workload.dataset import Dataset
+    from repro.runtime import Environment
+
+
+@dataclasses.dataclass
+class AppConfig:
+    """Deployment knobs shared by all implementations."""
+
+    silos: int = 4
+    cores_per_silo: int = 4
+    #: Message-loss probability (exercised by the anomaly experiments).
+    drop_probability: float = 0.0
+    #: Payment approval rate (deterministic per order id).
+    approval_rate: float = 1.0
+    #: Replication lag of the KV replica tier (customized app only).
+    replication_lag: float = 0.0005
+    #: Checkpoint interval (statefun app only; 0 disables).
+    checkpoint_interval: float = 0.5
+
+
+@dataclasses.dataclass
+class OperationResult:
+    """Uniform result record handed back to the driver."""
+
+    status: str  # "ok" | "rejected" | "failed" | "aborted"
+    operation: str
+    payload: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class MarketplaceApp:
+    """Abstract base for the four implementations."""
+
+    name = "abstract"
+
+    def __init__(self, env: "Environment",
+                 config: AppConfig | None = None) -> None:
+        self.env = env
+        self.config = config or AppConfig()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def ingest(self, dataset: "Dataset") -> None:
+        """Install the generated dataset (zero simulated latency).
+
+        Ingestion happens before the measured window, so implementations
+        install state directly rather than spending simulated time.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # workload operations (process helpers)
+    # ------------------------------------------------------------------
+    def add_item(self, customer_id: int, seller_id: int, product_id: int,
+                 quantity: int, voucher_cents: int = 0):
+        """Add a product to the customer's cart at the replicated price."""
+        raise NotImplementedError
+
+    def checkout(self, customer_id: int, order_id: str,
+                 payment_method: str):
+        """The Customer Checkout business transaction."""
+        raise NotImplementedError
+
+    def update_price(self, seller_id: int, product_id: int,
+                     price_cents: int):
+        """The Price Update business transaction."""
+        raise NotImplementedError
+
+    def delete_product(self, seller_id: int, product_id: int):
+        """The Product Delete business transaction."""
+        raise NotImplementedError
+
+    def update_delivery(self):
+        """The Update Delivery business transaction (10 sellers)."""
+        raise NotImplementedError
+
+    def dashboard(self, seller_id: int):
+        """The Seller Dashboard (two queries; see snapshot criterion)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # audits (zero-latency state inspection for the criteria checkers)
+    # ------------------------------------------------------------------
+    def audit_views(self) -> dict:
+        """Return raw state views keyed by service name."""
+        raise NotImplementedError
+
+    def runtime_stats(self) -> dict:
+        """Platform counters (messages, aborts, checkpoints, ...)."""
+        return {}
+
+
+def ok(operation: str, **payload) -> OperationResult:
+    return OperationResult(status="ok", operation=operation,
+                           payload=payload)
+
+
+def rejected(operation: str, **payload) -> OperationResult:
+    return OperationResult(status="rejected", operation=operation,
+                           payload=payload)
+
+
+def failed(operation: str, **payload) -> OperationResult:
+    return OperationResult(status="failed", operation=operation,
+                           payload=payload)
+
+
+def aborted(operation: str, **payload) -> OperationResult:
+    return OperationResult(status="aborted", operation=operation,
+                           payload=payload)

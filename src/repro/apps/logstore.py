@@ -1,0 +1,88 @@
+"""Append-only audit log storage (Figure 1: "log storage to store
+audit logging").
+
+The customized stack records every completed business transaction to an
+append-only log, asynchronously (audit writes must not sit on the
+critical path).  The log supports range and type queries — enough for
+compliance-style "what happened to order X" questions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment
+
+_sequence = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditRecord:
+    """One audited business transaction."""
+
+    sequence: int
+    time: float
+    operation: str
+    subject: str  # order id / product key / seller id
+    payload: dict
+
+
+class AuditLogStore:
+    """Asynchronous append-only audit log with simulated write latency."""
+
+    def __init__(self, env: "Environment",
+                 write_latency: float = 0.0003) -> None:
+        self.env = env
+        self.write_latency = write_latency
+        self._records: list[AuditRecord] = []
+        self.pending = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def append_async(self, operation: str, subject: str,
+                     payload: dict | None = None) -> None:
+        """Fire-and-forget append (does not block the caller)."""
+        self.pending += 1
+        self.env.process(self._write(operation, subject, payload or {}),
+                         name="audit-append")
+
+    def _write(self, operation: str, subject: str, payload: dict):
+        yield self.env.timeout(self.write_latency)
+        self._records.append(AuditRecord(
+            sequence=next(_sequence), time=self.env.now,
+            operation=operation, subject=subject, payload=dict(payload)))
+        self.pending -= 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> list[AuditRecord]:
+        return list(self._records)
+
+    def by_operation(self, operation: str) -> list[AuditRecord]:
+        return [record for record in self._records
+                if record.operation == operation]
+
+    def by_subject(self, subject: str) -> list[AuditRecord]:
+        """The full audited history of one order/product/seller."""
+        return [record for record in self._records
+                if record.subject == subject]
+
+    def between(self, start: float, end: float) -> list[AuditRecord]:
+        """Records with start <= time < end."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        return [record for record in self._records
+                if start <= record.time < end]
+
+    def tail(self, count: int) -> list[AuditRecord]:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return self._records[-count:] if count else []

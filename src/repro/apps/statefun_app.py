@@ -1,0 +1,209 @@
+"""Apache Flink Statefun implementation of Online Marketplace.
+
+"Statefun is a dataflow-based platform that provides exactly-once
+processing.  This implementation shows lower scalability compared to
+Orleans Eventual but outperforms Orleans Transactions by 2 times."
+(paper §III)
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+import zlib
+
+from repro.apps import statefun_fns as fns
+from repro.apps.base import AppConfig, MarketplaceApp, failed, ok, rejected
+from repro.dataflow import StatefunConfig, StatefunRuntime
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workload.dataset import Dataset
+    from repro.runtime import Environment
+
+
+class StatefunApp(MarketplaceApp):
+    """Online Marketplace as stateful functions with exactly-once."""
+
+    name = "statefun"
+    shipment_partitions = 4
+
+    def __init__(self, env: "Environment",
+                 config: AppConfig | None = None,
+                 statefun_config: StatefunConfig | None = None) -> None:
+        super().__init__(env, config)
+        self.runtime = StatefunRuntime(env, statefun_config or
+                                       StatefunConfig(
+                                           partitions=self.config.silos,
+                                           cores_per_partition=self
+                                           .config.cores_per_silo,
+                                           checkpoint_interval=self
+                                           .config.checkpoint_interval))
+        for name, cls in (
+                ("product", fns.ProductFn), ("replica", fns.ReplicaFn),
+                ("stock", fns.StockFn), ("cart", fns.CartFn),
+                ("order", fns.OrderFn), ("payment", fns.PaymentFn),
+                ("shipment", fns.ShipmentFn), ("delivery", fns.DeliveryFn),
+                ("customer", fns.CustomerFn), ("seller", fns.SellerFn)):
+            self.runtime.register(name, cls(self))
+        self.dataset: "Dataset | None" = None
+        self.event_log: list[dict] = []
+        self._request_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def shipment_partition(self, order_id: str) -> str:
+        digest = zlib.crc32(order_id.encode())
+        return f"part-{digest % self.shipment_partitions}"
+
+    def record_event(self, order_id: str, kind: str) -> None:
+        """Audit hook: seller-side lifecycle event processed."""
+        self.event_log.append({"subscriber": "seller-service",
+                               "time": self.env.now,
+                               "order_id": order_id, "kind": kind})
+
+    def _request_id(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._request_ids)}"
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, dataset: "Dataset") -> None:
+        from repro.marketplace.logic import (
+            customer as customer_logic,
+            seller as seller_logic,
+        )
+        self.dataset = dataset
+        for product in dataset.all_products():
+            data = product.as_dict()
+            self._install("product", product.key, data)
+            self._install("replica", product.key, {
+                "price_cents": data["price_cents"],
+                "version": data["version"], "active": data["active"]})
+        for key, stock_item in dataset.stock.items():
+            self._install("stock", key, stock_item.as_dict())
+        for seller in dataset.sellers:
+            self._install("seller", str(seller.seller_id),
+                          seller_logic.new_seller(
+                              seller.seller_id, seller.name, seller.city))
+        for customer in dataset.customers:
+            self._install("customer", str(customer.customer_id),
+                          customer_logic.new_customer(
+                              customer.customer_id, customer.name,
+                              customer.city))
+        # Ingested data is durable: it survives a crash that happens
+        # before the first periodic checkpoint.
+        self.runtime.seal_initial_state()
+
+    def _install(self, type_name: str, key: str, state: dict) -> None:
+        worker = self.runtime.worker_for((type_name, key))
+        worker.state[(type_name, key)] = dict(state)
+
+    # ------------------------------------------------------------------
+    # workload operations
+    # ------------------------------------------------------------------
+    def _await(self, operation: str, target: tuple[str, str],
+               payload: dict, request_id: str):
+        promise = self.runtime.request(target[0], target[1], payload,
+                                       request_id=request_id)
+        try:
+            outcome = yield promise
+        except Exception:
+            return failed(operation, reason="unreachable")
+        status = outcome.pop("status", "ok")
+        if status == "ok":
+            return ok(operation, **outcome)
+        if status == "rejected":
+            return rejected(operation, **outcome)
+        return failed(operation, **outcome)
+
+    def add_item(self, customer_id: int, seller_id: int, product_id: int,
+                 quantity: int, voucher_cents: int = 0):
+        request_id = self._request_id("add")
+        result = yield from self._await(
+            "add_item", ("cart", str(customer_id)), {
+                "kind": "add_item", "seller_id": seller_id,
+                "product_id": product_id, "quantity": quantity,
+                "voucher_cents": voucher_cents,
+                "pending_id": request_id},
+            request_id)
+        return result
+
+    def checkout(self, customer_id: int, order_id: str,
+                 payment_method: str):
+        result = yield from self._await(
+            "checkout", ("cart", str(customer_id)), {
+                "kind": "checkout", "order_id": order_id,
+                "method": payment_method},
+            order_id)
+        return result
+
+    def update_price(self, seller_id: int, product_id: int,
+                     price_cents: int):
+        request_id = self._request_id("price")
+        result = yield from self._await(
+            "update_price", ("product", f"{seller_id}/{product_id}"), {
+                "kind": "update_price", "price_cents": price_cents},
+            request_id)
+        return result
+
+    def delete_product(self, seller_id: int, product_id: int):
+        request_id = self._request_id("delete")
+        result = yield from self._await(
+            "delete_product", ("product", f"{seller_id}/{product_id}"), {
+                "kind": "delete"},
+            request_id)
+        return result
+
+    def update_delivery(self):
+        request_id = self._request_id("delivery")
+        result = yield from self._await(
+            "update_delivery", ("delivery", request_id),
+            {"kind": "start"}, request_id)
+        return result
+
+    def dashboard(self, seller_id: int):
+        """Two separate requests -> two separate function invocations:
+        no shared snapshot, as on the real platform."""
+        rid1 = self._request_id("dash-amount")
+        promise1 = self.runtime.request(
+            "seller", str(seller_id), {"kind": "dashboard_amount"}, rid1)
+        amount_reply = yield promise1
+        rid2 = self._request_id("dash-entries")
+        promise2 = self.runtime.request(
+            "seller", str(seller_id), {"kind": "dashboard_entries"}, rid2)
+        entries_reply = yield promise2
+        entries = entries_reply["entries"]
+        return ok("dashboard", amount_cents=amount_reply["amount_cents"],
+                  entries=entries,
+                  entries_total_cents=sum(entry["amount_cents"]
+                                          for entry in entries))
+
+    # ------------------------------------------------------------------
+    # audits
+    # ------------------------------------------------------------------
+    def audit_views(self) -> dict:
+        views: dict[str, dict] = {
+            "products": {}, "replicas": {}, "stock": {}, "orders": {},
+            "payments": {}, "shipments": {}, "customers": {},
+            "sellers": {}, "carts": {},
+        }
+        type_to_view = {
+            "product": "products", "replica": "replicas", "stock": "stock",
+            "order": "orders", "payment": "payments",
+            "shipment": "shipments", "customer": "customers",
+            "seller": "sellers", "cart": "carts",
+        }
+        for worker in self.runtime.workers:
+            for (type_name, key), state in worker.state.items():
+                view = type_to_view.get(type_name)
+                if view is not None and state:
+                    views[view][key] = state
+        views["event_log"] = list(self.event_log)
+        return views
+
+    def runtime_stats(self) -> dict:
+        return {
+            "messages_processed": self.runtime.messages_processed,
+            "checkpoints": self.runtime.checkpoints_taken,
+            "recoveries": self.runtime.recoveries,
+            "egress_events": len(self.runtime.egress_log),
+        }

@@ -1,0 +1,19 @@
+"""Asynchronous event broker with configurable delivery guarantees.
+
+Microservices in Online Marketplace exchange data via asynchronous
+events.  The paper's criteria distinguish *unordered* delivery from
+*causally ordered* delivery (e.g. payment events must precede shipment
+events of the same order).  This broker implements both, plus per-key
+FIFO, so the criterion can be toggled per experiment.
+"""
+
+from repro.broker.messages import EventEnvelope
+from repro.broker.topics import Broker, DeliveryMode, Subscription, Topic
+
+__all__ = [
+    "Broker",
+    "DeliveryMode",
+    "EventEnvelope",
+    "Subscription",
+    "Topic",
+]

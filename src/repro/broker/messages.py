@@ -1,0 +1,47 @@
+"""Event envelopes carried by the broker."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+_sequence = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class EventEnvelope:
+    """A published event plus the metadata the broker needs to route it.
+
+    Attributes
+    ----------
+    topic:
+        The topic name the event was published to.
+    key:
+        Partition/ordering key (e.g. order id).  Events with the same key
+        are FIFO-ordered under ``DeliveryMode.FIFO`` and causality is
+        tracked per key under ``DeliveryMode.CAUSAL``.
+    payload:
+        The application event object.
+    publish_time:
+        Simulated time of publication.
+    sequence:
+        Global, monotonically increasing publication number (used for
+        audit logs and deterministic tie-breaking).
+    causal_deps:
+        Sequence numbers of events that must be delivered to a subscriber
+        before this one under causal delivery.
+    """
+
+    topic: str
+    key: str
+    payload: object
+    publish_time: float
+    sequence: int = dataclasses.field(
+        default_factory=lambda: next(_sequence))
+    causal_deps: tuple[int, ...] = ()
+
+    def with_deps(self, deps: typing.Iterable[int]) -> "EventEnvelope":
+        """Return a copy with additional causal dependencies recorded."""
+        merged = tuple(sorted(set(self.causal_deps) | set(deps)))
+        return dataclasses.replace(self, causal_deps=merged)

@@ -1,0 +1,189 @@
+"""Command-line interface for the Online Marketplace benchmark.
+
+Examples
+--------
+Run one implementation and print its results::
+
+    python -m repro.cli run --app orleans-eventual --workers 32 \
+        --duration 3.0
+
+Compare all four implementations (throughput + criteria matrix)::
+
+    python -m repro.cli compare --workers 32 --duration 2.0
+
+Audit anomalies under message loss::
+
+    python -m repro.cli audit --app orleans-eventual --drop 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis.anomalies import AnomalyReport
+from repro.apps import ALL_APPS, AppConfig
+from repro.core import (
+    BenchmarkDriver,
+    DriverConfig,
+    WorkloadConfig,
+    audit_app,
+)
+from repro.core.criteria import CRITERIA
+from repro.core.workload.config import TransactionMix
+from repro.runtime import Environment
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=32,
+                        help="closed-loop driver workers")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="measured window (simulated seconds)")
+    parser.add_argument("--warmup", type=float, default=0.5,
+                        help="warm-up (simulated seconds)")
+    parser.add_argument("--silos", type=int, default=4,
+                        help="cluster size (silos / partitions)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="CPU cores per silo")
+    parser.add_argument("--sellers", type=int, default=10)
+    parser.add_argument("--customers", type=int, default=100)
+    parser.add_argument("--products", type=int, default=10,
+                        help="products per seller")
+    parser.add_argument("--zipf", type=float, default=0.8,
+                        help="product popularity skew")
+    parser.add_argument("--checkout-weight", type=float, default=65.0)
+    parser.add_argument("--drop", type=float, default=0.0,
+                        help="message-loss probability")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _run_one(app_name: str, args: argparse.Namespace):
+    env = Environment(seed=args.seed)
+    app = ALL_APPS[app_name](env, AppConfig(
+        silos=args.silos, cores_per_silo=args.cores,
+        drop_probability=args.drop))
+    mix = TransactionMix(checkout=args.checkout_weight)
+    workload = WorkloadConfig(
+        sellers=args.sellers, customers=args.customers,
+        products_per_seller=args.products, zipf_s=args.zipf, mix=mix)
+    driver = BenchmarkDriver(
+        env, app, workload,
+        DriverConfig(workers=args.workers, warmup=args.warmup,
+                     duration=args.duration, drain=1.0))
+    metrics = driver.run()
+    report = audit_app(app, driver)
+    return metrics, report
+
+
+def _print_metrics(metrics, stream: typing.TextIO) -> None:
+    print(f"\napp: {metrics.app}  workers: {metrics.workers}  "
+          f"window: {metrics.duration}s (simulated)", file=stream)
+    print(f"total committed throughput: "
+          f"{metrics.total_throughput:,.1f} tx/s", file=stream)
+    header = (f"{'operation':18s} {'ok':>7s} {'rej':>5s} {'fail':>5s} "
+              f"{'tx/s':>9s} {'p50 ms':>8s} {'p99 ms':>8s}")
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    for name, op in sorted(metrics.ops.items()):
+        print(f"{name:18s} {op.ok:7d} {op.rejected:5d} {op.failed:5d} "
+              f"{op.throughput:9.1f} {op.latency['p50'] * 1000:8.2f} "
+              f"{op.latency['p99'] * 1000:8.2f}", file=stream)
+
+
+def _print_report(report, stream: typing.TextIO) -> None:
+    print("\ncriteria:", file=stream)
+    for name in CRITERIA:
+        result = report.results.get(name)
+        if result is None:
+            continue
+        status = ("pass" if result.passed
+                  else f"FAIL ({result.violations}/{result.checked})")
+        print(f"  {name:28s} {status}", file=stream)
+
+
+def cmd_run(args: argparse.Namespace,
+            stream: typing.TextIO = sys.stdout) -> int:
+    metrics, report = _run_one(args.app, args)
+    _print_metrics(metrics, stream)
+    _print_report(report, stream)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace,
+                stream: typing.TextIO = sys.stdout) -> int:
+    results = {name: _run_one(name, args) for name in ALL_APPS}
+    print(f"\n{'implementation':24s} {'tx/s':>9s} {'checkout p50':>13s} "
+          f"{'criteria':>9s}", file=stream)
+    print("-" * 60, file=stream)
+    for name, (metrics, report) in results.items():
+        passed = sum(result.passed
+                     for result in report.results.values())
+        total = len(report.results)
+        print(f"{name:24s} {metrics.total_throughput:9,.0f} "
+              f"{metrics.latency_of('checkout') * 1000:11.2f}ms "
+              f"{passed:>5d}/{total}", file=stream)
+    print("\ncriteria matrix:", file=stream)
+    header = f"{'implementation':24s} " + "  ".join(
+        criterion.split('-')[0] for criterion in CRITERIA)
+    print(header, file=stream)
+    for name, (_, report) in results.items():
+        cells = []
+        for criterion in CRITERIA:
+            result = report.results.get(criterion)
+            cells.append("pass" if result is None or result.passed
+                         else "FAIL")
+        print(f"{name:24s} " + "  ".join(cells), file=stream)
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace,
+              stream: typing.TextIO = sys.stdout) -> int:
+    metrics, report = _run_one(args.app, args)
+    anomalies = AnomalyReport.from_report(report, metrics)
+    print(f"\napp: {args.app}  drop: {args.drop:.1%}  "
+          f"transactions: {anomalies.transactions}", file=stream)
+    for criterion, count in sorted(anomalies.violations.items()):
+        print(f"  {criterion:28s} {count:6d} violations "
+              f"({anomalies.per_10k(criterion):8.2f} per 10k tx)",
+              file=stream)
+    print(f"  {'TOTAL':28s} {anomalies.total_violations:6d} "
+          f"({anomalies.per_10k():8.2f} per 10k tx)", file=stream)
+    return 0 if report.all_pass else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Online Marketplace benchmark CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one implementation")
+    run_parser.add_argument("--app", choices=sorted(ALL_APPS),
+                            default="orleans-eventual")
+    _add_common_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run all four implementations")
+    _add_common_arguments(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    audit_parser = subparsers.add_parser(
+        "audit", help="anomaly audit for one implementation")
+    audit_parser.add_argument("--app", choices=sorted(ALL_APPS),
+                              default="orleans-eventual")
+    _add_common_arguments(audit_parser)
+    audit_parser.set_defaults(func=cmd_audit)
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None,
+         stream: typing.TextIO = sys.stdout) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, stream)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

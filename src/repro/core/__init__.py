@@ -1,0 +1,27 @@
+"""Benchmark core: workload definition, driver and criteria.
+
+This package is the paper's primary contribution: the Online Marketplace
+workload (data generation, key distributions, transaction mix), the
+benchmark driver (ingestion, warm-up, submission, statistics, cleanup)
+and the data management criteria auditors.
+"""
+
+from repro.core.workload.config import TransactionMix, WorkloadConfig
+from repro.core.workload.dataset import Dataset
+from repro.core.workload.generator import generate_dataset
+from repro.core.driver.driver import BenchmarkDriver, DriverConfig
+from repro.core.driver.metrics import LatencyRecorder, RunMetrics
+from repro.core.criteria import CriteriaReport, audit_app
+
+__all__ = [
+    "BenchmarkDriver",
+    "CriteriaReport",
+    "Dataset",
+    "DriverConfig",
+    "LatencyRecorder",
+    "RunMetrics",
+    "TransactionMix",
+    "WorkloadConfig",
+    "audit_app",
+    "generate_dataset",
+]

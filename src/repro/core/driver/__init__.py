@@ -1,0 +1,12 @@
+"""The benchmark driver: experiment lifecycle and statistics."""
+
+from repro.core.driver.driver import BenchmarkDriver, DriverConfig
+from repro.core.driver.metrics import LatencyRecorder, OpStats, RunMetrics
+
+__all__ = [
+    "BenchmarkDriver",
+    "DriverConfig",
+    "LatencyRecorder",
+    "OpStats",
+    "RunMetrics",
+]

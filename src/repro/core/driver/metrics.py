@@ -1,0 +1,113 @@
+"""Latency/throughput collection for benchmark runs."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.stats import describe
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies and outcomes inside the
+    measurement window (warm-up samples are discarded)."""
+
+    def __init__(self) -> None:
+        self.latencies: dict[str, list[float]] = {}
+        self.outcomes: dict[str, dict[str, int]] = {}
+        self.enabled = False
+
+    def record(self, operation: str, status: str, latency: float) -> None:
+        if not self.enabled:
+            return
+        self.latencies.setdefault(operation, []).append(latency)
+        per_status = self.outcomes.setdefault(operation, {})
+        per_status[status] = per_status.get(status, 0) + 1
+
+    def count(self, operation: str, status: str | None = None) -> int:
+        per_status = self.outcomes.get(operation, {})
+        if status is None:
+            return sum(per_status.values())
+        return per_status.get(status, 0)
+
+    def total(self, status: str | None = None) -> int:
+        return sum(self.count(operation, status)
+                   for operation in self.outcomes)
+
+    def operations(self) -> list[str]:
+        return sorted(self.outcomes)
+
+
+@dataclasses.dataclass
+class OpStats:
+    """Summary statistics for one operation type."""
+
+    operation: str
+    count: int
+    ok: int
+    rejected: int
+    failed: int
+    throughput: float
+    latency: dict[str, float]
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class RunMetrics:
+    """The full result of one benchmark run."""
+
+    app: str
+    workers: int
+    duration: float
+    ops: dict[str, OpStats]
+    runtime: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_throughput(self) -> float:
+        """Successful business transactions per simulated second."""
+        return sum(op.ok for op in self.ops.values()) / self.duration
+
+    @property
+    def goodput_checkout(self) -> float:
+        checkout = self.ops.get("checkout")
+        return checkout.ok / self.duration if checkout else 0.0
+
+    def latency_of(self, operation: str, which: str = "p50") -> float:
+        op = self.ops.get(operation)
+        return op.latency.get(which, 0.0) if op else 0.0
+
+    @classmethod
+    def from_recorder(cls, app: str, workers: int, duration: float,
+                      recorder: LatencyRecorder,
+                      runtime: dict | None = None) -> "RunMetrics":
+        ops = {}
+        for operation in recorder.operations():
+            latencies = recorder.latencies.get(operation, [])
+            ops[operation] = OpStats(
+                operation=operation,
+                count=recorder.count(operation),
+                ok=recorder.count(operation, "ok"),
+                rejected=recorder.count(operation, "rejected"),
+                failed=(recorder.count(operation, "failed")
+                        + recorder.count(operation, "aborted")),
+                throughput=recorder.count(operation, "ok") / duration,
+                latency=describe(latencies))
+        return cls(app=app, workers=workers, duration=duration, ops=ops,
+                   runtime=runtime or {})
+
+    def summary_rows(self) -> list[dict]:
+        """Rows suitable for printing as a results table."""
+        rows = []
+        for operation, op in sorted(self.ops.items()):
+            rows.append({
+                "app": self.app, "operation": operation,
+                "ok": op.ok, "rejected": op.rejected,
+                "failed": op.failed,
+                "tps": round(op.throughput, 1),
+                "p50_ms": round(op.latency["p50"] * 1000, 3),
+                "p95_ms": round(op.latency["p95"] * 1000, 3),
+                "p99_ms": round(op.latency["p99"] * 1000, 3),
+            })
+        return rows

@@ -1,0 +1,51 @@
+"""The generated dataset handed to apps for ingestion."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.marketplace.entities import Customer, Product, Seller, StockItem
+
+
+@dataclasses.dataclass
+class Dataset:
+    """Everything the driver ingests before the measured window.
+
+    ``products`` are the initially live products; ``reserve_products``
+    are pre-provisioned replacements used by the delete-compensation
+    scheme (they are ingested up front, with stock, so a rank rebinding
+    needs no mid-run ingestion).
+    """
+
+    sellers: list[Seller]
+    customers: list[Customer]
+    products: list[Product]
+    reserve_products: list[Product]
+    stock: dict[str, StockItem]  # product key -> stock item
+    initial_stock: int
+
+    @property
+    def seller_ids(self) -> list[int]:
+        return [seller.seller_id for seller in self.sellers]
+
+    @property
+    def customer_ids(self) -> list[int]:
+        return [customer.customer_id for customer in self.customers]
+
+    def product_by_key(self, key: str) -> Product | None:
+        for product in self.products + self.reserve_products:
+            if product.key == key:
+                return product
+        return None
+
+    def all_products(self) -> list[Product]:
+        return list(self.products) + list(self.reserve_products)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "sellers": len(self.sellers),
+            "customers": len(self.customers),
+            "products": len(self.products),
+            "reserve_products": len(self.reserve_products),
+            "stock_items": len(self.stock),
+        }

@@ -1,0 +1,114 @@
+"""Key-selection machinery: Zipfian sampling and delete compensation.
+
+The paper calls out two practical driver challenges: "accounting for
+deleted products while not impacting key distribution and providing
+safe concurrent accesses to data that form transaction inputs".  The
+:class:`ProductKeyRegistry` solves the first: popularity ranks are
+stable, and a deleted product's rank is transparently remapped to a
+fresh replacement product, so the Zipfian shape of the workload never
+drifts as deletes accumulate.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import typing
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability proportional to 1/(r+1)^s.
+
+    ``s = 0`` degenerates to uniform.  Sampling is by inverse transform
+    over the precomputed CDF (O(log n) per draw, deterministic given the
+    RNG).
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("need at least one rank")
+        if s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        self.n = n
+        self.s = s
+        self._rng = rng
+        weights = [1.0 / ((rank + 1) ** s) for rank in range(n)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0  # guard against floating-point shortfall
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        point = self._rng.random()
+        return bisect.bisect_left(self._cdf, point)
+
+    def probability(self, rank: int) -> float:
+        """The probability mass of ``rank``."""
+        if rank == 0:
+            return self._cdf[0]
+        return self._cdf[rank] - self._cdf[rank - 1]
+
+
+class ProductKeyRegistry:
+    """Stable popularity ranks over a mutable product population.
+
+    Each rank maps to the currently live product occupying it.  When a
+    product is deleted the rank is immediately rebound to a replacement
+    drawn from the reserve pool, keeping the key distribution intact.
+    When the reserve pool runs dry, deletes are refused (the driver then
+    skips the delete and picks another transaction), which bounds the
+    experiment instead of distorting it.
+    """
+
+    def __init__(self, initial: typing.Sequence[tuple[int, int]],
+                 reserve: typing.Sequence[tuple[int, int]]) -> None:
+        self._by_rank: list[tuple[int, int]] = list(initial)
+        self._reserve: list[tuple[int, int]] = list(reserve)
+        self._live: set[tuple[int, int]] = set(initial)
+        self.deletes = 0
+        self.refused_deletes = 0
+
+    def __len__(self) -> int:
+        return len(self._by_rank)
+
+    def product_at(self, rank: int) -> tuple[int, int]:
+        """(seller_id, product_id) currently bound to ``rank``."""
+        return self._by_rank[rank]
+
+    def rank_of(self, key: tuple[int, int]) -> int | None:
+        try:
+            return self._by_rank.index(key)
+        except ValueError:
+            return None
+
+    def is_live(self, key: tuple[int, int]) -> bool:
+        return key in self._live
+
+    @property
+    def reserve_remaining(self) -> int:
+        return len(self._reserve)
+
+    def delete_at(self, rank: int) -> tuple[tuple[int, int],
+                                            tuple[int, int]] | None:
+        """Delete the product at ``rank``; rebind to a replacement.
+
+        Returns (deleted key, replacement key), or None when no reserve
+        product is available (delete refused).
+        """
+        if not self._reserve:
+            self.refused_deletes += 1
+            return None
+        deleted = self._by_rank[rank]
+        replacement = self._reserve.pop()
+        self._by_rank[rank] = replacement
+        self._live.discard(deleted)
+        self._live.add(replacement)
+        self.deletes += 1
+        return deleted, replacement
+
+    def live_products(self) -> list[tuple[int, int]]:
+        return list(self._by_rank)

@@ -1,0 +1,71 @@
+"""Synthetic data generation for Online Marketplace."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.workload.config import WorkloadConfig
+from repro.core.workload.dataset import Dataset
+from repro.marketplace.entities import Customer, Product, Seller, StockItem
+
+_CATEGORIES = (
+    "electronics", "books", "home", "toys", "sports", "fashion",
+    "garden", "grocery", "beauty", "automotive",
+)
+
+_CITIES = (
+    "copenhagen", "aarhus", "odense", "aalborg", "esbjerg", "randers",
+)
+
+
+def generate_dataset(config: WorkloadConfig,
+                     seed: int = 0) -> Dataset:
+    """Generate sellers, customers, products, reserves and stock.
+
+    Deterministic for a given (config, seed) pair; product ids are
+    globally unique across sellers so the delete-compensation registry
+    can track identity by (seller_id, product_id).
+    """
+    rng = random.Random(seed)
+    sellers = [
+        Seller(seller_id=index + 1, name=f"seller-{index + 1}",
+               city=rng.choice(_CITIES))
+        for index in range(config.sellers)]
+    customers = [
+        Customer(customer_id=index + 1, name=f"customer-{index + 1}",
+                 city=rng.choice(_CITIES))
+        for index in range(config.customers)]
+
+    products: list[Product] = []
+    reserve_products: list[Product] = []
+    reserve_per_seller = max(
+        1, int(config.products_per_seller * config.reserve_fraction))
+    next_product_id = 1
+    for seller in sellers:
+        for _ in range(config.products_per_seller):
+            products.append(_make_product(rng, config, seller.seller_id,
+                                          next_product_id))
+            next_product_id += 1
+        for _ in range(reserve_per_seller):
+            reserve_products.append(
+                _make_product(rng, config, seller.seller_id,
+                              next_product_id))
+            next_product_id += 1
+
+    stock = {}
+    for product in products + reserve_products:
+        stock[product.key] = StockItem(
+            product_id=product.product_id, seller_id=product.seller_id,
+            qty_available=config.initial_stock)
+    return Dataset(sellers=sellers, customers=customers,
+                   products=products, reserve_products=reserve_products,
+                   stock=stock, initial_stock=config.initial_stock)
+
+
+def _make_product(rng: random.Random, config: WorkloadConfig,
+                  seller_id: int, product_id: int) -> Product:
+    price = rng.randint(config.min_price_cents, config.max_price_cents)
+    return Product(
+        product_id=product_id, seller_id=seller_id,
+        name=f"product-{product_id}", category=rng.choice(_CATEGORIES),
+        price_cents=price)

@@ -1,0 +1,33 @@
+"""Messages exchanged between stateful functions."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+_message_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class FunctionMessage:
+    """A message addressed to a stateful function instance.
+
+    ``request_id`` threads the driver's request identity through the
+    function chain so that the final egress can complete the right
+    request exactly once, even across failure/replay.
+    """
+
+    target_type: str
+    target_key: str
+    payload: object
+    request_id: str | None = None
+    is_ingress: bool = False
+    ingress_offset: int = -1
+    #: Set by the runtime when the message crosses worker partitions
+    #: (pays the shuffle latency/CPU costs).
+    cross_partition: bool = False
+    message_id: int = dataclasses.field(
+        default_factory=lambda: next(_message_ids))
+
+    def address(self) -> tuple[str, str]:
+        return (self.target_type, self.target_key)

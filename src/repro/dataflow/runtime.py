@@ -1,0 +1,343 @@
+"""The Statefun runtime: workers, checkpoints, failure and replay."""
+
+from __future__ import annotations
+
+import collections
+import copy
+import dataclasses
+import inspect
+import typing
+import zlib
+
+from repro.dataflow.function import Context, StatefulFunction
+from repro.dataflow.messages import FunctionMessage
+from repro.runtime.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment, Event
+
+
+@dataclasses.dataclass
+class StatefunConfig:
+    """Deployment and cost-model parameters for the dataflow runtime."""
+
+    partitions: int = 4
+    cores_per_partition: int = 4
+    #: One-way delivery latency between functions (and from ingress).
+    delivery_latency: float = 0.0002
+    #: Fixed CPU overhead per message for envelopes/serialisation —
+    #: the dataflow tax relative to raw actor calls.
+    envelope_cpu: float = 0.00006
+    #: Extra cost of a message that crosses partitions (network shuffle
+    #: plus serialisation).  With P partitions, (P-1)/P of uniformly
+    #: routed messages pay it — the mechanical source of the dataflow's
+    #: sub-linear scaling (paper: "lower scalability compared to
+    #: Orleans Eventual").
+    cross_partition_latency: float = 0.0004
+    cross_partition_cpu: float = 0.00008
+    #: Interval between aligned checkpoints (0 disables checkpointing).
+    checkpoint_interval: float = 0.5
+    #: Stop-the-world duration of one aligned checkpoint.
+    checkpoint_sync: float = 0.02
+    #: Pause while restoring from a checkpoint after a failure.
+    recovery_pause: float = 0.25
+
+
+@dataclasses.dataclass
+class _Checkpoint:
+    time: float
+    ingress_offset: int
+    worker_states: list[dict]
+    worker_queues: list[list[FunctionMessage]]
+
+
+class Worker:
+    """One partition: a queue, per-address state, and CPU cores."""
+
+    def __init__(self, env: "Environment", runtime: "StatefunRuntime",
+                 index: int, cores: int) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.index = index
+        self.cpu = Resource(env, capacity=cores)
+        self.queue: collections.deque[FunctionMessage] = collections.deque()
+        self.state: dict[tuple[str, str], dict] = {}
+        self.processed = 0
+        self._wakeup: "Event | None" = None
+        env.process(self._loop(), name=f"worker-{index}")
+
+    def enqueue(self, message: FunctionMessage) -> None:
+        self.queue.append(message)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def state_for(self, address: tuple[str, str]) -> dict:
+        state = self.state.get(address)
+        if state is None:
+            state = {}
+            self.state[address] = state
+        return state
+
+    def _loop(self):
+        runtime = self.runtime
+        while True:
+            if runtime.paused:
+                yield runtime.resume_event
+                continue
+            if not self.queue:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            message = self.queue.popleft()
+            yield from self._process(message)
+
+    def _process(self, message: FunctionMessage):
+        runtime = self.runtime
+        function = runtime.function_for(message.target_type)
+        cpu_cost = function.cpu_cost + runtime.config.envelope_cpu
+        if getattr(message, "cross_partition", False):
+            cpu_cost += runtime.config.cross_partition_cpu
+        yield from self.cpu.use(cpu_cost)
+        state = self.state_for(message.address())
+        context = Context(runtime, self, message, state)
+        result = function.invoke(context, message.payload)
+        if inspect.isgenerator(result):
+            yield from result
+        self.processed += 1
+        runtime.messages_processed += 1
+
+
+class StatefunRuntime:
+    """Registry, router and checkpoint coordinator for stateful functions."""
+
+    def __init__(self, env: "Environment",
+                 config: StatefunConfig | None = None) -> None:
+        self.env = env
+        self.config = config or StatefunConfig()
+        self.workers = [Worker(env, self, index,
+                               self.config.cores_per_partition)
+                        for index in range(self.config.partitions)]
+        self._functions: dict[str, StatefulFunction] = {}
+        # Exactly-once machinery -----------------------------------------
+        self.ingress_log: list[FunctionMessage] = []
+        self._in_flight = 0
+        self.paused = False
+        self.resume_event: "Event" = env.event()
+        self._last_checkpoint: _Checkpoint | None = None
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+        # Egress ----------------------------------------------------------
+        self.egress_log: list[tuple[float, str, object]] = []
+        self._egress_ids: set[str] = set()
+        self._request_waiters: dict[str, "Event"] = {}
+        self.messages_processed = 0
+        #: Serialises stop-the-world operations (checkpoints, recovery):
+        #: overlapping pauses would corrupt the shared resume event.
+        self._stw_lock = Resource(env, capacity=1)
+        if self.config.checkpoint_interval > 0:
+            env.process(self._checkpoint_loop(), name="checkpointer")
+
+    # ------------------------------------------------------------------
+    # registration & routing
+    # ------------------------------------------------------------------
+    def register(self, type_name: str,
+                 function: StatefulFunction) -> None:
+        self._functions[type_name] = function
+
+    def function_for(self, type_name: str) -> StatefulFunction:
+        function = self._functions.get(type_name)
+        if function is None:
+            raise KeyError(f"no function registered for {type_name!r}")
+        return function
+
+    def worker_for(self, address: tuple[str, str]) -> Worker:
+        # zlib.crc32 is stable across processes (unlike built-in hash()
+        # on strings), keeping partition routing deterministic.
+        digest = zlib.crc32(f"{address[0]}/{address[1]}".encode())
+        return self.workers[digest % len(self.workers)]
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send_ingress(self, target_type: str, target_key: str,
+                     payload: object,
+                     request_id: str | None = None) -> FunctionMessage:
+        """Inject a message from outside the dataflow (the driver)."""
+        message = FunctionMessage(
+            target_type=target_type, target_key=target_key,
+            payload=payload, request_id=request_id, is_ingress=True,
+            ingress_offset=len(self.ingress_log))
+        self.ingress_log.append(message)
+        self._deliver(message)
+        return message
+
+    def send_internal(self, target_type: str, target_key: str,
+                      payload: object,
+                      request_id: str | None = None,
+                      source_worker: "Worker | None" = None) -> None:
+        message = FunctionMessage(
+            target_type=target_type, target_key=target_key,
+            payload=payload, request_id=request_id)
+        target_worker = self.worker_for(message.address())
+        if source_worker is not None and source_worker is not target_worker:
+            message.cross_partition = True
+        self._deliver(message)
+
+    def _deliver(self, message: FunctionMessage) -> None:
+        self._in_flight += 1
+        self.env.process(self._deliver_later(message), name="deliver")
+
+    def _deliver_later(self, message: FunctionMessage):
+        latency = self.config.delivery_latency
+        if getattr(message, "cross_partition", False):
+            latency += self.config.cross_partition_latency
+        yield self.env.timeout(latency)
+        self._in_flight -= 1
+        if self.paused and message.is_ingress is False:
+            # Internal message arriving mid-recovery belongs to the
+            # failed epoch; it will be regenerated by replay.
+            if self._recovering:
+                return
+        self.worker_for(message.address()).enqueue(message)
+
+    # ------------------------------------------------------------------
+    # request/response bridging for the benchmark driver
+    # ------------------------------------------------------------------
+    def request(self, target_type: str, target_key: str, payload: object,
+                request_id: str) -> "Event":
+        """Send an ingress message; the event fires on matching egress."""
+        waiter = self.env.event()
+        self._request_waiters[request_id] = waiter
+        self.send_ingress(target_type, target_key, payload,
+                          request_id=request_id)
+        return waiter
+
+    def emit_egress(self, kind: str, payload: object,
+                    effect_id: str) -> None:
+        if effect_id in self._egress_ids:
+            return  # duplicate from replay: exactly-once egress
+        self._egress_ids.add(effect_id)
+        self.egress_log.append((self.env.now, kind, payload))
+        request_id = effect_id.split(":", 1)[0]
+        waiter = self._request_waiters.pop(request_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(payload)
+
+    # ------------------------------------------------------------------
+    # checkpointing and recovery
+    # ------------------------------------------------------------------
+    _recovering = False
+
+    def _checkpoint_loop(self):
+        while True:
+            yield self.env.timeout(self.config.checkpoint_interval)
+            yield from self.take_checkpoint()
+
+    def _pause(self):
+        self.paused = True
+        self.resume_event = self.env.event()
+        # Aligned barrier: wait for in-flight messages to land in queues.
+        while self._in_flight > 0:
+            yield self.env.timeout(self.config.delivery_latency)
+
+    def _resume(self) -> None:
+        self.paused = False
+        self.resume_event.succeed()
+        for worker in self.workers:
+            if worker.queue and worker._wakeup is not None \
+                    and not worker._wakeup.triggered:
+                worker._wakeup.succeed()
+
+    def seal_initial_state(self) -> None:
+        """Record the current state as checkpoint zero.
+
+        Called after data ingestion: installed state is durable, so a
+        failure before the first periodic checkpoint must restore the
+        ingested dataset rather than an empty cluster.
+        """
+        self._last_checkpoint = _Checkpoint(
+            time=self.env.now,
+            ingress_offset=len(self.ingress_log),
+            worker_states=[copy.deepcopy(worker.state)
+                           for worker in self.workers],
+            worker_queues=[list(worker.queue)
+                           for worker in self.workers])
+
+    def take_checkpoint(self):
+        """Process helper: stop-the-world aligned snapshot."""
+        request = self._stw_lock.request()
+        yield request
+        try:
+            yield from self._take_checkpoint_locked()
+        finally:
+            self._stw_lock.release(request)
+
+    def _take_checkpoint_locked(self):
+        yield from self._pause()
+        yield self.env.timeout(self.config.checkpoint_sync)
+        self._last_checkpoint = _Checkpoint(
+            time=self.env.now,
+            ingress_offset=len(self.ingress_log),
+            worker_states=[copy.deepcopy(worker.state)
+                           for worker in self.workers],
+            worker_queues=[list(worker.queue)
+                           for worker in self.workers])
+        self.checkpoints_taken += 1
+        self._resume()
+
+    def inject_failure(self):
+        """Process helper: crash, restore the last checkpoint, replay.
+
+        All function state and queues roll back; ingress messages after
+        the checkpoint offset are re-delivered.  Deterministic functions
+        plus deduplicated egress give exactly-once end-to-end effects.
+        """
+        request = self._stw_lock.request()
+        yield request
+        try:
+            yield from self._inject_failure_locked()
+        finally:
+            self._stw_lock.release(request)
+
+    def _inject_failure_locked(self):
+        self.recoveries += 1
+        self._recovering = True
+        yield from self._pause()
+        yield self.env.timeout(self.config.recovery_pause)
+        checkpoint = self._last_checkpoint
+        if checkpoint is None:
+            # No checkpoint yet: restart from scratch, replay everything.
+            for worker in self.workers:
+                worker.state = {}
+                worker.queue.clear()
+            replay_from = 0
+        else:
+            for worker, state, queue in zip(self.workers,
+                                            checkpoint.worker_states,
+                                            checkpoint.worker_queues):
+                worker.state = copy.deepcopy(state)
+                worker.queue.clear()
+                worker.queue.extend(queue)
+            replay_from = checkpoint.ingress_offset
+        self._recovering = False
+        self._resume()
+        for message in self.ingress_log[replay_from:]:
+            replayed = FunctionMessage(
+                target_type=message.target_type,
+                target_key=message.target_key,
+                payload=message.payload,
+                request_id=message.request_id,
+                is_ingress=True,
+                ingress_offset=message.ingress_offset)
+            self._deliver(replayed)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_queued(self) -> int:
+        return sum(len(worker.queue) for worker in self.workers)
+
+    def state_of(self, type_name: str, key: str) -> dict | None:
+        """Zero-latency state inspection for audits and tests."""
+        worker = self.worker_for((type_name, key))
+        return worker.state.get((type_name, key))

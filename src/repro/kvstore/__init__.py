@@ -1,0 +1,21 @@
+"""In-memory key-value store with primary-secondary replication.
+
+This is the repository's stand-in for the Redis deployment used by the
+paper's *Customized Orleans* implementation: product updates are written
+to a primary and replicated asynchronously to secondaries; causal
+sessions (version vectors) let carts read product data without going
+backwards in causal time.
+"""
+
+from repro.kvstore.store import KVStore, Versioned
+from repro.kvstore.replication import CausalSession, ReplicatedKV, Replica
+from repro.kvstore.versionclock import VersionVector
+
+__all__ = [
+    "CausalSession",
+    "KVStore",
+    "Replica",
+    "ReplicatedKV",
+    "Versioned",
+    "VersionVector",
+]

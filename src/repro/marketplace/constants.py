@@ -1,0 +1,56 @@
+"""Status codes, payment methods and event-topic names.
+
+Statuses are plain strings (not enums) because grain/function state is
+stored as plain dicts that cross storage and checkpoint boundaries;
+string constants survive deep copies and snapshots without surprises.
+"""
+
+from __future__ import annotations
+
+
+class OrderStatus:
+    CREATED = "created"
+    INVOICED = "invoiced"
+    PAYMENT_PROCESSED = "payment_processed"
+    PAYMENT_FAILED = "payment_failed"
+    READY_FOR_SHIPMENT = "ready_for_shipment"
+    IN_TRANSIT = "in_transit"
+    DELIVERED = "delivered"
+    COMPLETED = "completed"
+    CANCELED = "canceled"
+
+    #: Statuses counted by the seller dashboard as "in progress".
+    IN_PROGRESS = (INVOICED, PAYMENT_PROCESSED, READY_FOR_SHIPMENT,
+                   IN_TRANSIT)
+
+
+class PaymentStatus:
+    REQUESTED = "requested"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class PaymentMethod:
+    CREDIT_CARD = "credit_card"
+    DEBIT_CARD = "debit_card"
+    BOLETO = "boleto"
+    VOUCHER = "voucher"
+
+    ALL = (CREDIT_CARD, DEBIT_CARD, BOLETO, VOUCHER)
+
+
+class PackageStatus:
+    CREATED = "created"
+    SHIPPED = "shipped"
+    DELIVERED = "delivered"
+
+
+class Topics:
+    """Broker topic names used by the event-driven implementations."""
+
+    PRICE_UPDATES = "product.price-updates"
+    PRODUCT_DELETES = "product.deletes"
+    ORDER_EVENTS = "order.events"
+    PAYMENT_EVENTS = "payment.events"
+    SHIPMENT_EVENTS = "shipment.events"
+    STOCK_EVENTS = "stock.events"

@@ -1,0 +1,108 @@
+"""Application events exchanged between microservices.
+
+Events are dataclasses with plain-dict payload converters.  The ones
+that matter to the paper's criteria:
+
+* :class:`PriceUpdated` / :class:`ProductDeleted` drive the
+  Product -> Cart (and Product -> Stock) replication whose semantics
+  (eventual vs causal) the benchmark prescribes.
+* :class:`PaymentConfirmed` must causally precede
+  :class:`ShipmentNotification` for the same order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class PriceUpdated:
+    seller_id: int
+    product_id: int
+    price_cents: int
+    version: int
+
+    kind = "price_updated"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProductDeleted:
+    seller_id: int
+    product_id: int
+    version: int
+
+    kind = "product_deleted"
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckoutRequested:
+    customer_id: int
+    order_id: str
+    items: tuple  # tuple of CartItem dicts
+    payment_method: str
+
+    kind = "checkout_requested"
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderCreated:
+    order_id: str
+    customer_id: int
+    total_cents: int
+    invoice: str
+
+    kind = "order_created"
+
+
+@dataclasses.dataclass(frozen=True)
+class StockConfirmed:
+    order_id: str
+    items: tuple
+
+    kind = "stock_confirmed"
+
+
+@dataclasses.dataclass(frozen=True)
+class StockRejected:
+    order_id: str
+    failed_items: tuple
+
+    kind = "stock_rejected"
+
+
+@dataclasses.dataclass(frozen=True)
+class PaymentConfirmed:
+    order_id: str
+    customer_id: int
+    amount_cents: int
+    method: str
+
+    kind = "payment_confirmed"
+
+
+@dataclasses.dataclass(frozen=True)
+class PaymentFailed:
+    order_id: str
+    customer_id: int
+    amount_cents: int
+    method: str
+
+    kind = "payment_failed"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShipmentNotification:
+    order_id: str
+    customer_id: int
+    package_count: int
+
+    kind = "shipment_notification"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryNotification:
+    order_id: str
+    seller_id: int
+    package_id: str
+
+    kind = "delivery_notification"

@@ -1,0 +1,24 @@
+"""Pure business logic of the eight microservices.
+
+Every function here is a state transition over plain dicts: it receives
+the current state (and inputs), returns the new state (and outputs),
+and never touches the simulation, storage or network.  The platform
+implementations in :mod:`repro.apps` wire these transitions onto grains,
+transactional grains and stateful functions; data management behaviour
+(atomicity, replication, ordering) differs per platform, business rules
+do not.
+"""
+
+from repro.marketplace.logic import (  # noqa: F401
+    cart,
+    customer,
+    order,
+    payment,
+    product,
+    seller,
+    shipment,
+    stock,
+)
+
+__all__ = ["cart", "customer", "order", "payment", "product", "seller",
+           "shipment", "stock"]

@@ -1,0 +1,57 @@
+"""Payment service logic: payment lines and (deterministic) processing.
+
+Payment "is responsible for processing different payment methods and
+possible discounts, and confirming the order".  Card authorisation is
+simulated with a deterministic hash of the order id so that a given
+workload produces the same approval pattern on every platform — the
+cross-platform comparison must not be perturbed by randomness.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.marketplace.constants import PaymentMethod, PaymentStatus
+
+
+def build_payment(order_id: str, customer_id: int, amount_cents: int,
+                  method: str, now: float) -> dict:
+    if method not in PaymentMethod.ALL:
+        raise ValueError(f"unknown payment method {method!r}")
+    if amount_cents < 0:
+        raise ValueError("payment amount must be >= 0")
+    return {"order_id": order_id, "customer_id": customer_id,
+            "amount_cents": amount_cents, "method": method,
+            "status": PaymentStatus.REQUESTED, "requested_at": now,
+            "lines": _lines(amount_cents, method)}
+
+
+def _lines(amount_cents: int, method: str) -> list[dict]:
+    """Split the amount into payment lines (card + remainder)."""
+    if method == PaymentMethod.VOUCHER:
+        half = amount_cents // 2
+        return [
+            {"type": PaymentMethod.VOUCHER, "amount_cents": half},
+            {"type": PaymentMethod.CREDIT_CARD,
+             "amount_cents": amount_cents - half},
+        ]
+    return [{"type": method, "amount_cents": amount_cents}]
+
+
+def authorize(payment: dict, approval_rate: float = 1.0) -> dict:
+    """Decide the payment outcome; deterministic per order id.
+
+    ``approval_rate`` is the fraction of payments approved; the decision
+    hashes the order id so all platforms agree on which orders fail.
+    """
+    if not 0.0 <= approval_rate <= 1.0:
+        raise ValueError("approval_rate must be in [0, 1]")
+    digest = zlib.crc32(payment["order_id"].encode()) % 10_000
+    approved = digest < approval_rate * 10_000
+    status = (PaymentStatus.SUCCEEDED if approved
+              else PaymentStatus.FAILED)
+    return {**payment, "status": status}
+
+
+def is_approved(payment: dict) -> bool:
+    return payment["status"] == PaymentStatus.SUCCEEDED

@@ -1,0 +1,34 @@
+"""Product service logic: the authoritative product catalogue.
+
+The product service is the *source of truth* for price and existence;
+carts and stock hold replicas.  Every mutation bumps the version so
+replicas (and auditors) can order updates.
+"""
+
+from __future__ import annotations
+
+
+def new_product(product_id: int, seller_id: int, name: str,
+                category: str, price_cents: int) -> dict:
+    if price_cents < 0:
+        raise ValueError("price must be >= 0")
+    return {"product_id": product_id, "seller_id": seller_id,
+            "name": name, "category": category,
+            "price_cents": price_cents, "version": 1, "active": True}
+
+
+def update_price(state: dict, price_cents: int) -> dict:
+    """Set a new price; bumps the version."""
+    if price_cents < 0:
+        raise ValueError("price must be >= 0")
+    if not state["active"]:
+        raise ValueError("cannot update a deleted product")
+    return {**state, "price_cents": price_cents,
+            "version": state["version"] + 1}
+
+
+def delete(state: dict) -> dict:
+    """Logically delete the product; bumps the version."""
+    if not state["active"]:
+        raise ValueError("product already deleted")
+    return {**state, "active": False, "version": state["version"] + 1}

@@ -1,0 +1,76 @@
+"""Seller service logic: the seller dashboard's materialised view.
+
+The dashboard consists of two queries: (1) the financial amount of
+orders in progress by the seller, and (2) the tuples used to compute
+that amount.  The consistency criterion requires both to reflect the
+same snapshot of the application state.  In the event-driven
+implementations this view is maintained incrementally from order and
+payment events — which is what makes the two reads able to diverge.
+"""
+
+from __future__ import annotations
+
+from repro.marketplace.constants import OrderStatus
+
+
+def new_seller(seller_id: int, name: str = "", city: str = "") -> dict:
+    return {"seller_id": seller_id, "name": name, "city": city,
+            "entries": {}, "deliveries": 0, "revenue_cents": 0}
+
+
+def seller_share_cents(order: dict, seller_id: int) -> int:
+    """The part of an order's total attributable to one seller."""
+    share = 0
+    for item in order["items"]:
+        if item["seller_id"] == seller_id:
+            subtotal = (item["quantity"] * item["unit_price_cents"]
+                        - item.get("voucher_cents", 0))
+            share += max(subtotal, 0)
+    return share
+
+
+def upsert_entry(state: dict, order: dict) -> dict:
+    """Insert/update the dashboard entry for an in-progress order."""
+    seller_id = state["seller_id"]
+    amount = seller_share_cents(order, seller_id)
+    if amount == 0:
+        return state
+    entries = dict(state["entries"])
+    entries[order["order_id"]] = {
+        "order_id": order["order_id"],
+        "customer_id": order["customer_id"],
+        "status": order["status"],
+        "amount_cents": amount,
+        "updated_at": order["updated_at"],
+    }
+    return {**state, "entries": entries}
+
+
+def update_entry_status(state: dict, order_id: str, status: str,
+                        now: float) -> dict:
+    """Track a status change; terminal statuses retire the entry."""
+    entries = dict(state["entries"])
+    entry = entries.get(order_id)
+    if entry is None:
+        return state
+    if status in OrderStatus.IN_PROGRESS:
+        entries[order_id] = {**entry, "status": status, "updated_at": now}
+        return {**state, "entries": entries}
+    retired = entries.pop(order_id)
+    new_state = {**state, "entries": entries}
+    if status == OrderStatus.COMPLETED:
+        new_state["revenue_cents"] = (state["revenue_cents"]
+                                      + retired["amount_cents"])
+        new_state["deliveries"] = state["deliveries"] + 1
+    return new_state
+
+
+def dashboard_amount(state: dict) -> int:
+    """Query 1: financial amount of orders in progress."""
+    return sum(entry["amount_cents"] for entry in state["entries"].values())
+
+
+def dashboard_entries(state: dict) -> list[dict]:
+    """Query 2: the tuples behind query 1 (sorted for determinism)."""
+    return sorted((dict(entry) for entry in state["entries"].values()),
+                  key=lambda entry: entry["order_id"])

@@ -1,0 +1,106 @@
+"""Shipment service logic: packaging and delivery progression.
+
+Upon successful payment the shipment service groups order items into
+one package per seller.  The *Update Delivery* transaction "picks the
+first 10 sellers with undelivered packages in chronological order and
+sets their respective oldest order's packages as delivered".
+"""
+
+from __future__ import annotations
+
+from repro.marketplace.constants import PackageStatus
+
+
+def new_shipments() -> dict:
+    """State of a shipment manager partition."""
+    return {"shipments": {}, "next_package": 1}
+
+
+def create_shipment(state: dict, order_id: str, customer_id: int,
+                    items: list[dict], now: float) -> tuple[dict, dict]:
+    """Create one package per seller for the order's items."""
+    if order_id in state["shipments"]:
+        raise ValueError(f"shipment for {order_id!r} already exists")
+    if not items:
+        raise ValueError("cannot ship an order without items")
+    packages = {}
+    next_package = state["next_package"]
+    by_seller: dict[int, list[dict]] = {}
+    for item in items:
+        by_seller.setdefault(item["seller_id"], []).append(dict(item))
+    for seller_id in sorted(by_seller):
+        package_id = f"pkg-{next_package:08d}"
+        next_package += 1
+        packages[package_id] = {
+            "package_id": package_id,
+            "order_id": order_id,
+            "seller_id": seller_id,
+            "items": by_seller[seller_id],
+            "status": PackageStatus.SHIPPED,
+            "shipped_at": now,
+            "delivered_at": None,
+        }
+    shipment = {"order_id": order_id, "customer_id": customer_id,
+                "packages": packages, "created_at": now}
+    shipments = dict(state["shipments"])
+    shipments[order_id] = shipment
+    new_state = {**state, "shipments": shipments,
+                 "next_package": next_package}
+    return new_state, shipment
+
+
+def undelivered_seller_times(state: dict) -> list[tuple[int, float]]:
+    """(seller, earliest undelivered ship time) pairs for this partition."""
+    first_seen: dict[int, float] = {}
+    for shipment in state["shipments"].values():
+        for package in shipment["packages"].values():
+            if package["status"] != PackageStatus.DELIVERED:
+                seller = package["seller_id"]
+                when = package["shipped_at"]
+                if seller not in first_seen or when < first_seen[seller]:
+                    first_seen[seller] = when
+    return sorted(first_seen.items(), key=lambda item: (item[1], item[0]))
+
+
+def undelivered_sellers(state: dict, limit: int = 10) -> list[int]:
+    """First ``limit`` sellers with undelivered packages, chronological."""
+    ranked = undelivered_seller_times(state)
+    return [seller for seller, _ in ranked[:limit]]
+
+
+def oldest_undelivered_package(state: dict,
+                               seller_id: int) -> dict | None:
+    """The seller's oldest package not yet delivered (or None)."""
+    best = None
+    for shipment in state["shipments"].values():
+        for package in shipment["packages"].values():
+            if (package["seller_id"] == seller_id
+                    and package["status"] != PackageStatus.DELIVERED):
+                if best is None or package["shipped_at"] < best["shipped_at"]:
+                    best = package
+    return best
+
+
+def mark_delivered(state: dict, order_id: str, package_id: str,
+                   now: float) -> tuple[dict, dict]:
+    """Set one package delivered; returns (state, updated package)."""
+    shipments = dict(state["shipments"])
+    shipment = shipments.get(order_id)
+    if shipment is None:
+        raise KeyError(f"no shipment for order {order_id!r}")
+    packages = dict(shipment["packages"])
+    package = packages.get(package_id)
+    if package is None:
+        raise KeyError(f"no package {package_id!r} in order {order_id!r}")
+    if package["status"] == PackageStatus.DELIVERED:
+        return state, package
+    package = {**package, "status": PackageStatus.DELIVERED,
+               "delivered_at": now}
+    packages[package_id] = package
+    shipments[order_id] = {**shipment, "packages": packages}
+    return {**state, "shipments": shipments}, package
+
+
+def package_count(state: dict, order_id: str) -> int:
+    shipment = state["shipments"].get(order_id)
+    return len(shipment["packages"]) if shipment else 0

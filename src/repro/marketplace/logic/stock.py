@@ -1,0 +1,61 @@
+"""Stock service logic: reservation protocol over inventory items.
+
+Checkout reserves stock first, then either confirms (decrementing the
+physical quantity) after payment succeeds or cancels after it fails.
+The integrity criterion — stock items must always refer to existing
+products — is auditable because deletion marks items inactive.
+"""
+
+from __future__ import annotations
+
+
+def new_item(product_id: int, seller_id: int, qty_available: int) -> dict:
+    return {"product_id": product_id, "seller_id": seller_id,
+            "qty_available": qty_available, "qty_reserved": 0,
+            "version": 1, "active": True}
+
+
+def reserve(state: dict, quantity: int) -> tuple[dict, bool]:
+    """Try to reserve ``quantity`` units; returns (new state, ok)."""
+    if quantity <= 0:
+        raise ValueError(f"reservation quantity must be > 0, got {quantity}")
+    if not state.get("active", True):
+        return state, False
+    free = state["qty_available"] - state["qty_reserved"]
+    if free < quantity:
+        return state, False
+    return {**state, "qty_reserved": state["qty_reserved"] + quantity}, True
+
+
+def confirm_reservation(state: dict, quantity: int) -> dict:
+    """Turn a reservation into a real decrement (payment succeeded)."""
+    if state["qty_reserved"] < quantity:
+        raise ValueError(
+            f"confirming {quantity} but only {state['qty_reserved']} "
+            f"reserved")
+    return {**state,
+            "qty_available": state["qty_available"] - quantity,
+            "qty_reserved": state["qty_reserved"] - quantity}
+
+
+def cancel_reservation(state: dict, quantity: int) -> dict:
+    """Release a reservation (payment failed or order canceled)."""
+    return {**state,
+            "qty_reserved": max(state["qty_reserved"] - quantity, 0)}
+
+
+def restock(state: dict, quantity: int) -> dict:
+    if quantity < 0:
+        raise ValueError("restock quantity must be >= 0")
+    return {**state, "qty_available": state["qty_available"] + quantity}
+
+
+def deactivate(state: dict, version: int) -> dict:
+    """Mark the item inactive because its product was deleted."""
+    return {**state, "active": False, "version": version}
+
+
+def is_consistent(state: dict) -> bool:
+    """Invariant: reservations never exceed availability, never negative."""
+    return (state["qty_available"] >= 0
+            and 0 <= state["qty_reserved"] <= state["qty_available"])

@@ -1,0 +1,153 @@
+"""The simulation environment: virtual clock plus event queue.
+
+:class:`Environment` owns simulated time.  Events are scheduled onto a
+binary heap keyed by ``(time, priority, sequence)``; the sequence number
+makes the ordering total and therefore the whole simulation
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.runtime.events import AllOf, AnyOf, Event, Timeout
+from repro.runtime.process import Interrupt, Process
+from repro.runtime.rng import SeedSequenceFactory
+
+__all__ = ["Environment", "Interrupt", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """An unhandled failure surfaced by the simulation kernel."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams derived via :meth:`rng`.
+        Two environments constructed with the same seed and running the
+        same model produce identical traces.
+    """
+
+    #: Scheduling priority for ordinary events.
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self._seeds = SeedSequenceFactory(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event.ok and not event.defused:
+            exc = typing.cast(BaseException, event._value)
+            raise SimulationError(
+                f"unhandled failure in {event!r}") from exc
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time) or an :class:`Event` (run until
+        it fires, returning its value).
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            # Running until an event counts as "handling" its failure:
+            # the exception is re-raised below instead of at step().
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(
+                    lambda event: event.defuse() if not event.ok else None)
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                return None
+            if not stop_event.ok:
+                stop_event.defuse()
+                raise typing.cast(BaseException, stop_event._value)
+            return stop_event.value
+        if until is not None and self._now < stop_time and not self._queue:
+            self._now = stop_time
+        return None
+
+    # ------------------------------------------------------------------
+    # factory helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event owned by this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator[Event, object, object],
+                name: str | None = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def rng(self, name: str):
+        """Return a named, independently-seeded random stream.
+
+        Streams are derived deterministically from the environment seed
+        and the stream name, so adding a new consumer of randomness does
+        not perturb existing streams.
+        """
+        return self._seeds.stream(name)

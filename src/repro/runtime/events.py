@@ -1,0 +1,207 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.
+Events move through three states: *pending* (created, not yet triggered),
+*triggered* (scheduled to fire at some simulation time) and *processed*
+(callbacks have run).  Processes wait on events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.environment import Environment
+
+PENDING = object()
+"""Sentinel for an event value that has not been set yet."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Processes wait on an event by yielding it.  The event owner calls
+    :meth:`succeed` or :meth:`fail` to trigger it; the kernel then resumes
+    every waiting process at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: object = PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event fired successfully (valid after trigger)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if the event has not been triggered."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` raised at their yield
+        point.  If no process ever waits on a failed event the kernel
+        surfaces the exception at the end of the run (unless defused).
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Mapping of event -> value for the events that fired in a condition."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> object:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> typing.Iterator[Event]:
+        return iter(self.events)
+
+    def todict(self) -> dict[Event, object]:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events (see :class:`AllOf`, :class:`AnyOf`).
+
+    The condition fires as soon as ``evaluate(events, fired_count)``
+    returns True, or fails as soon as any constituent event fails.
+    """
+
+    def __init__(self, env: "Environment",
+                 evaluate: typing.Callable[[list[Event], int], bool],
+                 events: typing.Iterable[Event]) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        # Evaluate immediately in case the condition is trivially met
+        # (e.g. AllOf over an empty list).
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            elif event.callbacks is not None:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Only events that have actually fired (been processed) count;
+            # a Timeout is "triggered" at creation but fires later.
+            if event.processed and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defuse()
+            self.fail(typing.cast(BaseException, event.value))
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* constituent events have fired."""
+
+    def __init__(self, env: "Environment",
+                 events: typing.Iterable[Event]) -> None:
+        super().__init__(env, lambda events, count: count >= len(events),
+                         events)
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())
+
+
+class AnyOf(Condition):
+    """Condition that fires when *any* constituent event has fired."""
+
+    def __init__(self, env: "Environment",
+                 events: typing.Iterable[Event]) -> None:
+        super().__init__(env, lambda events, count: count >= 1 or
+                         not events, events)
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())

@@ -1,0 +1,142 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator yields
+:class:`~repro.runtime.events.Event` objects; whenever a yielded event
+fires, the kernel resumes the generator with the event's value (or raises
+the event's exception into it).  The process itself is also an event: it
+fires with the generator's return value when the generator finishes, so
+processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.runtime.events import Event, PENDING
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.environment import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> object:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running simulation process driving a generator.
+
+    The process is an :class:`Event` that fires when the generator
+    terminates — successfully with its return value, or with the
+    exception that escaped it.
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: typing.Generator[Event, object, object],
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process via an immediately-scheduled init event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.name} has terminated; cannot interrupt")
+        # Detach from the event currently waited upon, then schedule an
+        # immediate resumption that throws the interrupt.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event.ok:
+                result = self._generator.send(event.value)
+            else:
+                # The event failed: raise its exception inside the process.
+                event.defuse()
+                result = self._generator.throw(
+                    typing.cast(BaseException, event.value))
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self)
+            self._target = None
+            self.env._active_process = None
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            self._target = None
+            self.env._active_process = None
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(result, Event):
+            error = RuntimeError(
+                f"process {self.name!r} yielded {result!r}, "
+                f"which is not an Event")
+            self._kill(error)
+            return
+        if result.callbacks is None:
+            # Already processed: resume immediately (next scheduler step).
+            immediate = Event(self.env)
+            immediate._ok = result.ok
+            immediate._value = result._value
+            if not result.ok:
+                result.defuse()
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env.schedule(immediate)
+            self._target = result
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def _kill(self, exc: BaseException) -> None:
+        try:
+            self._generator.throw(exc)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+        except BaseException as inner:
+            self._ok = False
+            self._value = inner
+        self.env.schedule(self)
+        self._target = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"

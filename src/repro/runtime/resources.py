@@ -1,0 +1,109 @@
+"""Capacity-limited resources for modelling CPU cores and similar.
+
+A :class:`Resource` has a fixed number of slots.  Processes request a
+slot, hold it while doing simulated work, and release it.  When all
+slots are busy, requests queue FIFO — this queueing is what produces
+realistic saturation behaviour (latency rising as offered load
+approaches capacity) in the benchmark results.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.runtime.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.environment import Environment
+
+
+class ResourceRequest(Event):
+    """Event that fires when the requested slot is granted."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.granted = False
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op once granted)."""
+        if not self.granted:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: collections.deque[ResourceRequest] = collections.deque()
+        # Aggregate accounting, used to compute utilisation in reports.
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilisation(self, elapsed: float | None = None) -> float:
+        """Average fraction of capacity busy since the start of the run."""
+        self._account()
+        horizon = elapsed if elapsed is not None else self.env.now
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time / (horizon * self.capacity)
+
+    def request(self) -> ResourceRequest:
+        """Request a slot; the returned event fires when granted."""
+        request = ResourceRequest(self)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            request.granted = True
+            request.succeed()
+        else:
+            self._waiting.append(request)
+        return request
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a previously granted slot."""
+        if not request.granted:
+            raise RuntimeError("releasing a request that was never granted")
+        self._account()
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            waiter = self._waiting.popleft()
+            self._in_use += 1
+            waiter.granted = True
+            waiter.succeed()
+
+    def use(self, duration: float):
+        """Process helper: acquire a slot, hold it ``duration``, release.
+
+        Usage inside a process generator::
+
+            yield from resource.use(0.002)
+        """
+        request = self.request()
+        yield request
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(request)

@@ -1,0 +1,47 @@
+"""Named, reproducible random-number streams.
+
+Every source of randomness in the simulator pulls from a named stream
+derived from the master seed.  Deriving streams by name (rather than
+sharing one generator) keeps components statistically independent and
+means adding a new random consumer does not shift the random sequence
+seen by existing components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStream(random.Random):
+    """A ``random.Random`` tagged with the name it was derived from."""
+
+    def __init__(self, name: str, seed: int) -> None:
+        super().__init__(seed)
+        self.name = name
+        self.derived_seed = seed
+
+    def __repr__(self) -> str:
+        return f"<RngStream {self.name!r} seed={self.derived_seed}>"
+
+
+class SeedSequenceFactory:
+    """Derives independent seeds from a master seed and stream names."""
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, RngStream] = {}
+
+    def derive(self, name: str) -> int:
+        """Derive a 64-bit seed for ``name`` from the master seed."""
+        digest = hashlib.sha256(
+            f"{self.master_seed}/{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, name: str) -> RngStream:
+        """Return the (cached) stream for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = RngStream(name, self.derive(name))
+            self._streams[name] = stream
+        return stream

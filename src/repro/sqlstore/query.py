@@ -1,0 +1,103 @@
+"""Tiny predicate combinators for querying MVCC tables.
+
+These deliberately mirror the shape of a SQL ``WHERE`` clause without
+parsing SQL: each combinator returns a :class:`Predicate` that can be
+tested against a row-data mapping, and reports the (column, value) pair
+it pins down exactly — which lets the engine use a secondary index.
+"""
+
+from __future__ import annotations
+
+import typing
+
+RowData = typing.Mapping[str, object]
+
+
+class Predicate:
+    """A testable row condition, possibly index-assisted."""
+
+    def __init__(self, test: typing.Callable[[RowData], bool],
+                 equality: tuple[str, object] | None = None,
+                 description: str = "?") -> None:
+        self._test = test
+        #: (column, value) when the predicate implies column == value.
+        self.equality = equality
+        self.description = description
+
+    def __call__(self, row: RowData) -> bool:
+        return self._test(row)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return and_(self, other)
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.description}>"
+
+
+def eq(column: str, value: object) -> Predicate:
+    """``column == value`` (index-assisted when an index exists)."""
+    return Predicate(lambda row: row.get(column) == value,
+                     equality=(column, value),
+                     description=f"{column} == {value!r}")
+
+
+def _compare(column: str, value, op, symbol: str) -> Predicate:
+    def test(row: RowData) -> bool:
+        actual = row.get(column)
+        if actual is None:
+            return False
+        return op(actual, value)
+    return Predicate(test, description=f"{column} {symbol} {value!r}")
+
+
+def lt(column: str, value) -> Predicate:
+    return _compare(column, value, lambda a, b: a < b, "<")
+
+
+def le(column: str, value) -> Predicate:
+    return _compare(column, value, lambda a, b: a <= b, "<=")
+
+
+def gt(column: str, value) -> Predicate:
+    return _compare(column, value, lambda a, b: a > b, ">")
+
+
+def ge(column: str, value) -> Predicate:
+    return _compare(column, value, lambda a, b: a >= b, ">=")
+
+
+def in_(column: str, values: typing.Iterable[object]) -> Predicate:
+    """``column IN (values)``; index-assisted for single-value sets."""
+    candidates = set(values)
+    equality = None
+    if len(candidates) == 1:
+        equality = (column, next(iter(candidates)))
+    return Predicate(lambda row: row.get(column) in candidates,
+                     equality=equality,
+                     description=f"{column} IN {sorted(map(repr, candidates))}")
+
+
+def not_(predicate: Predicate) -> Predicate:
+    """Negation (never index-assisted)."""
+    return Predicate(lambda row: not predicate(row),
+                     description=f"NOT ({predicate.description})")
+
+
+def or_(*predicates: Predicate) -> Predicate:
+    """Disjunction (never index-assisted)."""
+    return Predicate(
+        lambda row: any(predicate(row) for predicate in predicates),
+        description=" OR ".join(p.description for p in predicates))
+
+
+def and_(*predicates: Predicate) -> Predicate:
+    """Conjunction; inherits the first index-usable equality, if any."""
+    equality = None
+    for predicate in predicates:
+        if predicate.equality is not None:
+            equality = predicate.equality
+            break
+    return Predicate(
+        lambda row: all(predicate(row) for predicate in predicates),
+        equality=equality,
+        description=" AND ".join(p.description for p in predicates))

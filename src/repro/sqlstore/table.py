@@ -1,0 +1,139 @@
+"""Tables, rows and version chains for the MVCC engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+INFINITY = float("inf")
+
+
+class UniqueViolation(Exception):
+    """Insert of a primary key that already has a visible version."""
+
+
+@dataclasses.dataclass
+class Version:
+    """One version of a row.
+
+    A version is visible to a snapshot taken at time ``ts`` when
+    ``begin_ts <= ts < end_ts``.  ``end_ts`` is infinity while the
+    version is current.
+    """
+
+    data: dict[str, object] | None  # None encodes a deletion marker
+    begin_ts: float
+    end_ts: float = INFINITY
+    txid: int = 0
+
+    def visible_at(self, ts: float) -> bool:
+        return self.begin_ts <= ts < self.end_ts
+
+
+@dataclasses.dataclass(frozen=True)
+class Row:
+    """An immutable row snapshot handed back to queries."""
+
+    key: object
+    data: typing.Mapping[str, object]
+
+    def __getitem__(self, column: str) -> object:
+        return self.data[column]
+
+    def get(self, column: str, default: object = None) -> object:
+        return self.data.get(column, default)
+
+
+class Table:
+    """A table: primary-key -> version chain, plus secondary indexes."""
+
+    def __init__(self, name: str, columns: typing.Sequence[str],
+                 primary_key: str) -> None:
+        if primary_key not in columns:
+            raise ValueError(
+                f"primary key {primary_key!r} not in columns {columns!r}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.primary_key = primary_key
+        self._chains: dict[object, list[Version]] = {}
+        self._indexes: dict[str, dict[object, set[object]]] = {}
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        if column not in self.columns:
+            raise ValueError(f"no column {column!r} in table {self.name!r}")
+        if column in self._indexes:
+            return
+        index: dict[object, set[object]] = {}
+        for key, chain in self._chains.items():
+            current = chain[-1]
+            if current.data is not None:
+                index.setdefault(current.data.get(column), set()).add(key)
+        self._indexes[column] = index
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    # ------------------------------------------------------------------
+    # version-chain access (engine internal)
+    # ------------------------------------------------------------------
+    def chain(self, key: object) -> list[Version]:
+        return self._chains.get(key, [])
+
+    def latest(self, key: object) -> Version | None:
+        chain = self._chains.get(key)
+        return chain[-1] if chain else None
+
+    def visible(self, key: object, ts: float) -> dict[str, object] | None:
+        """The row data visible at snapshot ``ts`` (None if absent)."""
+        for version in reversed(self.chain(key)):
+            if version.visible_at(ts):
+                return version.data
+        return None
+
+    def install(self, key: object, data: dict[str, object] | None,
+                ts: float, txid: int) -> None:
+        """Install a new current version at commit time ``ts``."""
+        chain = self._chains.setdefault(key, [])
+        old_data = None
+        if chain:
+            chain[-1].end_ts = ts
+            old_data = chain[-1].data
+        chain.append(Version(data=data, begin_ts=ts, txid=txid))
+        self._reindex(key, old_data, data)
+
+    def _reindex(self, key: object, old: dict[str, object] | None,
+                 new: dict[str, object] | None) -> None:
+        for column, index in self._indexes.items():
+            if old is not None:
+                bucket = index.get(old.get(column))
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        index.pop(old.get(column), None)
+            if new is not None:
+                index.setdefault(new.get(column), set()).add(key)
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def keys_at(self, ts: float) -> typing.Iterator[object]:
+        for key in self._chains:
+            if self.visible(key, ts) is not None:
+                yield key
+
+    def index_lookup(self, column: str, value: object) -> set[object]:
+        """Candidate keys whose *current* version matches (must recheck
+        visibility against the reader's snapshot)."""
+        index = self._indexes.get(column)
+        if index is None:
+            raise KeyError(f"no index on {self.name}.{column}")
+        return set(index.get(value, ()))
+
+    def __len__(self) -> int:
+        """Number of keys with a live current version."""
+        return sum(1 for chain in self._chains.values()
+                   if chain and chain[-1].data is not None)

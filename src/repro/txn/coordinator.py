@@ -1,0 +1,166 @@
+"""The transaction coordinator: execution, 2PC and retry."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.txn.context import TransactionContext, TransactionStatus
+from repro.txn.errors import TransactionAborted
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.actors.cluster import Cluster
+    from repro.runtime import Event
+
+
+@dataclasses.dataclass
+class TxnConfig:
+    """Cost model and retry policy for distributed transactions."""
+
+    #: One-way latency of a coordinator <-> participant control message.
+    control_latency: float = 0.0003
+    #: Durable write of the coordinator's commit decision.
+    coordinator_log_latency: float = 0.0005
+    #: CPU charged on the coordinator side per 2PC round.
+    coordinator_cpu: float = 0.00005
+    max_retries: int = 8
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    #: Ablation switches (bench A1): disable pieces of the protocol.
+    enable_locking: bool = True
+    enable_two_phase_commit: bool = True
+
+
+@dataclasses.dataclass
+class TxnStats:
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    wait_die_deaths: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class TransactionRunner:
+    """Runs application functions as distributed ACID transactions.
+
+    ``run(body)`` executes ``body(ctx)`` — which issues grain calls that
+    carry ``ctx`` — then drives two-phase commit over every participant
+    the transaction touched.  On :class:`TransactionAborted` the attempt
+    is rolled back and retried with exponential backoff, *keeping the
+    original wait-die priority* so old transactions eventually win.
+    """
+
+    def __init__(self, cluster: "Cluster",
+                 config: TxnConfig | None = None) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config or TxnConfig()
+        self.stats = TxnStats()
+        self._rng = cluster.env.rng("txn-runner")
+
+    # ------------------------------------------------------------------
+    def run(self, body: typing.Callable[[TransactionContext], "Event"]):
+        """Process helper: execute ``body`` transactionally with retry.
+
+        ``body(ctx)`` must return an event (typically a grain-call
+        promise); its value becomes the transaction's result.
+        """
+        priority: tuple[float, int] | None = None
+        attempt = 0
+        while True:
+            attempt += 1
+            ctx = TransactionContext(self.env.now,
+                                     inherit_priority=priority)
+            priority = ctx.priority
+            ctx.attempt = attempt
+            self.stats.started += 1
+            try:
+                result = yield body(ctx)
+            except TransactionAborted as abort:
+                yield from self._abort_all(ctx)
+                if abort.reason == "wait-die":
+                    self.stats.wait_die_deaths += 1
+                if attempt > self.config.max_retries:
+                    self.stats.aborted += 1
+                    raise
+                self.stats.retries += 1
+                yield self.env.timeout(self._backoff(attempt))
+                continue
+            except BaseException:
+                # Non-transactional failure: roll back, do not retry.
+                yield from self._abort_all(ctx)
+                self.stats.aborted += 1
+                raise
+            committed = yield from self._commit(ctx)
+            if committed:
+                self.stats.committed += 1
+                return result
+            if attempt > self.config.max_retries:
+                self.stats.aborted += 1
+                raise TransactionAborted(
+                    f"txn {ctx.txid} exceeded {self.config.max_retries} "
+                    f"retries", reason="veto")
+            self.stats.retries += 1
+            yield self.env.timeout(self._backoff(attempt))
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        base = self.config.backoff_base * (
+            self.config.backoff_factor ** (attempt - 1))
+        jitter = 1.0 + self.config.backoff_jitter * self._rng.random()
+        return base * jitter
+
+    def _control_hop(self):
+        yield self.env.timeout(self.config.control_latency)
+
+    def _commit(self, ctx: TransactionContext):
+        """Process helper: run 2PC; returns True on commit."""
+        participants = list(ctx.participants.values())
+        if not self.config.enable_two_phase_commit:
+            # Ablation: one-shot parallel commit without a prepare round.
+            if participants:
+                yield self.env.all_of([
+                    self.env.process(self._commit_one(participant, ctx),
+                                     name="commit1p")
+                    for participant in participants])
+            ctx.status = TransactionStatus.COMMITTED
+            return True
+        ctx.status = TransactionStatus.PREPARING
+        # Prepare phase: one control round-trip + log force, in parallel.
+        votes = yield self.env.all_of([
+            self.env.process(self._prepare_one(participant, ctx),
+                             name=f"prepare:{participant.identity}")
+            for participant in participants])
+        if not all(votes.todict().values()):
+            yield from self._abort_all(ctx)
+            return False
+        # Coordinator durably records the commit decision.
+        yield self.env.timeout(self.config.coordinator_log_latency)
+        # Commit phase, in parallel.
+        yield self.env.all_of([
+            self.env.process(self._commit_one(participant, ctx),
+                             name=f"commit:{participant.identity}")
+            for participant in participants])
+        ctx.status = TransactionStatus.COMMITTED
+        return True
+
+    def _prepare_one(self, participant, ctx: TransactionContext):
+        yield from self._control_hop()
+        vote = yield from participant.prepare(ctx)
+        yield from self._control_hop()
+        return vote
+
+    def _commit_one(self, participant, ctx: TransactionContext):
+        yield from self._control_hop()
+        yield from participant.commit(ctx)
+
+    def _abort_all(self, ctx: TransactionContext):
+        ctx.status = TransactionStatus.ABORTED
+        for participant in ctx.participants.values():
+            participant.abort(ctx)
+        return
+        yield  # pragma: no cover - generator marker

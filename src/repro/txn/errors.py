@@ -1,0 +1,20 @@
+"""Transaction error types."""
+
+from __future__ import annotations
+
+
+class TransactionError(Exception):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects rolled back.
+
+    ``reason`` distinguishes wait-die victims ("wait-die"), explicit
+    application aborts ("application"), prepare vetoes ("veto") and
+    infrastructure failures ("failure").
+    """
+
+    def __init__(self, message: str, reason: str = "unknown") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -1,0 +1,115 @@
+"""Strict two-phase locking with wait-die deadlock avoidance."""
+
+from __future__ import annotations
+
+import collections
+import enum
+import typing
+
+from repro.txn.context import TransactionContext
+from repro.txn.errors import TransactionAborted
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _Waiter:
+    __slots__ = ("ctx", "mode", "event")
+
+    def __init__(self, ctx: TransactionContext, mode: LockMode,
+                 event) -> None:
+        self.ctx = ctx
+        self.mode = mode
+        self.event = event
+
+
+class LockManager:
+    """A single lock protecting one participant's state.
+
+    Wait-die: a requester that conflicts with current holders may wait
+    only if it is *older* (lower priority tuple) than every conflicting
+    holder; otherwise it dies immediately with
+    :class:`TransactionAborted` (reason ``"wait-die"``).  Older
+    transactions therefore never wait behind younger ones, which rules
+    out deadlock cycles.
+    """
+
+    #: Class-level ablation switch (bench A1): when True, every acquire
+    #: succeeds immediately and no isolation is provided.
+    disabled = False
+
+    def __init__(self, env: "Environment", name: str) -> None:
+        self.env = env
+        self.name = name
+        self._holders: dict[int, tuple[TransactionContext, LockMode]] = {}
+        self._queue: collections.deque[_Waiter] = collections.deque()
+        self.waits = 0
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    def holders(self) -> list[tuple[TransactionContext, LockMode]]:
+        return list(self._holders.values())
+
+    def held_by(self, ctx: TransactionContext) -> LockMode | None:
+        entry = self._holders.get(ctx.txid)
+        return entry[1] if entry else None
+
+    def _conflicts(self, ctx: TransactionContext,
+                   mode: LockMode) -> list[TransactionContext]:
+        conflicting = []
+        for txid, (holder, held_mode) in self._holders.items():
+            if txid == ctx.txid:
+                continue
+            if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+                conflicting.append(holder)
+        return conflicting
+
+    # ------------------------------------------------------------------
+    def acquire(self, ctx: TransactionContext, mode: LockMode):
+        """Process helper: acquire (or upgrade to) ``mode`` for ``ctx``."""
+        held = self.held_by(ctx)
+        if self.disabled or (held is not None
+                             and (held is mode
+                                  or held is LockMode.EXCLUSIVE)):
+            return
+            yield  # pragma: no cover - generator marker
+        while True:
+            conflicting = self._conflicts(ctx, mode)
+            if not conflicting:
+                self._holders[ctx.txid] = (ctx, mode)
+                return
+            if any(not ctx.older_than(holder) for holder in conflicting):
+                self.deaths += 1
+                raise TransactionAborted(
+                    f"txn {ctx.txid} died on lock {self.name!r} "
+                    f"(wait-die, held by "
+                    f"{[holder.txid for holder in conflicting]})",
+                    reason="wait-die")
+            # Older than every conflicting holder: wait politely.
+            self.waits += 1
+            waiter = _Waiter(ctx, mode, self.env.event())
+            self._queue.append(waiter)
+            yield waiter.event
+            # Re-check conflicts after being woken (loop).
+
+    def release(self, ctx: TransactionContext) -> None:
+        """Release the lock held by ``ctx`` and wake eligible waiters."""
+        self._holders.pop(ctx.txid, None)
+        self._wake()
+
+    def _wake(self) -> None:
+        # Wake waiters whose request is now compatible, in FIFO order;
+        # each woken waiter re-checks conflicts itself.
+        still_waiting: collections.deque[_Waiter] = collections.deque()
+        while self._queue:
+            waiter = self._queue.popleft()
+            if not self._conflicts(waiter.ctx, waiter.mode):
+                waiter.event.succeed()
+            else:
+                still_waiting.append(waiter)
+        self._queue = still_waiting

@@ -1,0 +1,155 @@
+"""Transaction participants and the transactional grain base class."""
+
+from __future__ import annotations
+
+import copy
+import typing
+
+from repro.actors.grain import Grain
+from repro.txn.context import TransactionContext
+from repro.txn.errors import TransactionAborted
+from repro.txn.locks import LockManager, LockMode
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime import Environment
+
+
+class TransactionParticipant:
+    """Per-grain transactional state manager.
+
+    Holds the committed state, per-transaction staged writes, and the
+    grain's lock.  Prepare/commit/abort are invoked by the coordinator
+    *outside* the grain's mailbox — exactly like Orleans' transaction
+    agent — so a commit can never deadlock behind a queued grain call
+    that is itself waiting for the commit's locks.
+    """
+
+    def __init__(self, env: "Environment", identity: tuple[str, str],
+                 log_write_latency: float,
+                 initial_state: dict | None = None) -> None:
+        self.env = env
+        self.identity = identity
+        self.lock = LockManager(env, f"{identity[0]}/{identity[1]}")
+        self.log_write_latency = log_write_latency
+        self.committed_state: dict = initial_state or {}
+        self._staged: dict[int, dict] = {}
+        self._prepared: set[int] = set()
+        self.commit_log: list[tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # data access (called from inside grain methods)
+    # ------------------------------------------------------------------
+    def read(self, ctx: TransactionContext):
+        """Process helper: S-lock and return a private copy of state."""
+        if not ctx.is_active:
+            raise TransactionAborted(
+                f"txn {ctx.txid} no longer active", reason="failure")
+        yield from self.lock.acquire(ctx, LockMode.SHARED)
+        ctx.register(self)
+        if ctx.txid in self._staged:
+            return copy.deepcopy(self._staged[ctx.txid])
+        return copy.deepcopy(self.committed_state)
+
+    def write(self, ctx: TransactionContext, state: dict):
+        """Process helper: X-lock and stage the new state."""
+        if not ctx.is_active:
+            raise TransactionAborted(
+                f"txn {ctx.txid} no longer active", reason="failure")
+        yield from self.lock.acquire(ctx, LockMode.EXCLUSIVE)
+        ctx.register(self)
+        self._staged[ctx.txid] = copy.deepcopy(state)
+
+    def read_committed(self) -> dict:
+        """Lock-free read of the last committed state (non-txn callers)."""
+        return copy.deepcopy(self.committed_state)
+
+    def write_committed(self, state: dict) -> None:
+        """Lock-free direct write (non-transactional replication paths).
+
+        Used where the paper's platforms offer no transactional
+        primitive — e.g. event-driven replica maintenance — so the write
+        bypasses locking exactly like the real system would.
+        """
+        self.committed_state = copy.deepcopy(state)
+
+    # ------------------------------------------------------------------
+    # two-phase commit (called by the coordinator)
+    # ------------------------------------------------------------------
+    def prepare(self, ctx: TransactionContext):
+        """Process helper: force a log record, vote yes/no."""
+        if not self.lock.disabled and self.lock.held_by(ctx) is None:
+            # Lost our locks (e.g. the txn died elsewhere): veto.
+            return False
+            yield  # pragma: no cover - generator marker
+        yield self.env.timeout(self.log_write_latency)
+        self._prepared.add(ctx.txid)
+        self.commit_log.append((self.env.now, ctx.txid, "prepared"))
+        return True
+
+    def commit(self, ctx: TransactionContext):
+        """Process helper: install staged state, log, release locks."""
+        if ctx.txid in self._staged:
+            self.committed_state = self._staged.pop(ctx.txid)
+        yield self.env.timeout(self.log_write_latency)
+        self.commit_log.append((self.env.now, ctx.txid, "committed"))
+        self._prepared.discard(ctx.txid)
+        self.lock.release(ctx)
+
+    def abort(self, ctx: TransactionContext) -> None:
+        """Discard staged state and release locks (no log force needed)."""
+        self._staged.pop(ctx.txid, None)
+        self._prepared.discard(ctx.txid)
+        self.commit_log.append((self.env.now, ctx.txid, "aborted"))
+        self.lock.release(ctx)
+
+
+class TransactionalGrain(Grain):
+    """A grain whose state is managed by a :class:`TransactionParticipant`.
+
+    Inside a transactional method (``self.current_txn`` set), use
+    :meth:`txn_read` / :meth:`txn_write`; outside, :meth:`txn_read`
+    falls back to the last committed state, giving non-transactional
+    queries read-committed semantics.
+    """
+
+    log_write_latency: float = 0.0005
+
+    #: Transactional grains interleave message processing: isolation
+    #: comes from the participant's locks, not from turn concurrency.
+    #: (A non-reentrant mailbox can deadlock invisibly to wait-die: txn
+    #: A blocks on a lock held by B while B's next call to this grain is
+    #: queued behind A's executing method.)
+    reentrant = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._participant: TransactionParticipant | None = None
+
+    @property
+    def participant(self) -> TransactionParticipant:
+        if self._participant is None:
+            self._participant = TransactionParticipant(
+                self.env, (type(self).__name__, self.key),
+                self.log_write_latency)
+        return self._participant
+
+    def txn_read(self):
+        """Process helper: read state under the current transaction."""
+        ctx = self.current_txn
+        if ctx is None:
+            return self.participant.read_committed()
+            yield  # pragma: no cover - generator marker
+        state = yield from self.participant.read(ctx)
+        return state
+
+    def txn_write(self, state: dict):
+        """Process helper: write state under the current transaction."""
+        ctx = self.current_txn
+        if ctx is None:
+            raise TransactionAborted(
+                f"{self!r}: write outside a transaction", reason="failure")
+        yield from self.participant.write(ctx, state)
+
+    def non_txn_write(self, state: dict) -> None:
+        """Direct committed-state write for non-transactional paths."""
+        self.participant.write_committed(state)

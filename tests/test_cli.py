@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--workers", "4", "--duration", "0.5", "--warmup", "0.1",
+        "--silos", "1", "--cores", "2", "--sellers", "2",
+        "--customers", "8", "--products", "3"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "orleans-eventual"
+        assert args.workers == 32
+        assert args.drop == 0.0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "mystery"])
+
+    def test_audit_accepts_drop(self):
+        args = build_parser().parse_args(
+            ["audit", "--app", "statefun", "--drop", "0.05"])
+        assert args.drop == 0.05
+
+
+class TestRunCommand:
+    def test_run_prints_metrics_and_criteria(self):
+        stream = io.StringIO()
+        code = main(["run", "--app", "orleans-eventual"] + FAST,
+                    stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "total committed throughput" in output
+        assert "checkout" in output
+        assert "C1-atomicity" in output
+
+    def test_run_statefun(self):
+        stream = io.StringIO()
+        code = main(["run", "--app", "statefun"] + FAST, stream=stream)
+        assert code == 0
+        assert "statefun" in stream.getvalue()
+
+
+class TestAuditCommand:
+    def test_audit_clean_run_exits_zero_for_customized(self):
+        stream = io.StringIO()
+        code = main(["audit", "--app", "customized-orleans"] + FAST,
+                    stream=stream)
+        assert code == 0
+        assert "per 10k tx" in stream.getvalue()
+
+    def test_audit_eventual_under_loss_exits_nonzero(self):
+        stream = io.StringIO()
+        code = main(["audit", "--app", "orleans-eventual",
+                     "--drop", "0.05"] + FAST, stream=stream)
+        assert code == 1
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_apps(self):
+        stream = io.StringIO()
+        code = main(["compare"] + FAST, stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        for name in ("orleans-eventual", "orleans-transactions",
+                     "statefun", "customized-orleans"):
+            assert name in output
+        assert "criteria matrix" in output

@@ -1,0 +1,216 @@
+"""Unit tests for the criteria auditors over synthetic state views."""
+
+import pytest
+
+from repro.core.criteria import (
+    CRITERIA,
+    _audit_atomicity,
+    _audit_event_order,
+    _audit_integrity,
+    audit_app,
+)
+from repro.marketplace.constants import OrderStatus
+
+
+def order(order_id, customer_id=1, status=OrderStatus.PAYMENT_PROCESSED,
+          total=100, sellers=(1,)):
+    return {
+        "order_id": order_id, "customer_id": customer_id,
+        "status": status, "total_cents": total,
+        "items": [{"seller_id": seller, "product_id": seller * 10,
+                   "quantity": 1, "unit_price_cents": total // len(sellers)}
+                  for seller in sellers],
+        "created_at": 0.0, "updated_at": 0.0,
+        "packages_total": 0, "packages_delivered": 0,
+    }
+
+
+def shipment_for(order_dict, when=1.0):
+    packages = {}
+    for index, seller in enumerate(
+            sorted({item["seller_id"] for item in order_dict["items"]})):
+        packages[f"pkg-{index}"] = {
+            "package_id": f"pkg-{index}",
+            "order_id": order_dict["order_id"], "seller_id": seller,
+            "items": [], "status": "shipped", "shipped_at": when,
+            "delivered_at": None}
+    return {"order_id": order_dict["order_id"],
+            "customer_id": order_dict["customer_id"],
+            "packages": packages, "created_at": when}
+
+
+def base_views():
+    paid = order("o1", total=100)
+    return {
+        "orders": {"1": {"customer_id": 1, "next_order": 2,
+                         "orders": {"o1": paid}}},
+        "shipments": {"part-0": {"shipments":
+                                 {"o1": shipment_for(paid)},
+                                 "next_package": 2}},
+        "stock": {"1/10": {"product_id": 10, "seller_id": 1,
+                           "qty_available": 5, "qty_reserved": 0,
+                           "active": True, "version": 1}},
+        "products": {"1/10": {"product_id": 10, "seller_id": 1,
+                              "active": True, "version": 1,
+                              "price_cents": 10, "name": "",
+                              "category": ""}},
+        "customers": {"1": {"customer_id": 1, "spent_cents": 100,
+                            "orders_placed": 1, "payments_succeeded": 1,
+                            "payments_failed": 0, "deliveries": 0}},
+        "event_log": [
+            {"subscriber": "s", "time": 1.0, "order_id": "o1",
+             "kind": "payment_confirmed"},
+            {"subscriber": "s", "time": 2.0, "order_id": "o1",
+             "kind": "shipment_notification"},
+        ],
+    }
+
+
+class TestAtomicityAuditor:
+    def test_clean_views_pass(self):
+        result = _audit_atomicity(base_views(), max_details=5)
+        assert result.passed
+        assert result.checked > 0
+
+    def test_paid_order_without_shipment_flagged(self):
+        views = base_views()
+        views["shipments"]["part-0"]["shipments"].clear()
+        result = _audit_atomicity(views, max_details=5)
+        assert result.violations == 1
+        assert "no shipment" in result.details[0]
+
+    def test_wrong_package_count_flagged(self):
+        paid = order("o1", sellers=(1, 2))
+        views = base_views()
+        views["orders"]["1"]["orders"]["o1"] = paid
+        # Shipment only has one package although two sellers participate.
+        result = _audit_atomicity(views, max_details=5)
+        assert result.violations >= 1
+
+    def test_dangling_reservation_flagged(self):
+        views = base_views()
+        views["stock"]["1/10"]["qty_reserved"] = 3
+        result = _audit_atomicity(views, max_details=5)
+        assert result.violations == 1
+        assert "dangling" in result.details[0]
+
+    def test_customer_spend_mismatch_flagged(self):
+        views = base_views()
+        views["customers"]["1"]["spent_cents"] = 1
+        result = _audit_atomicity(views, max_details=5)
+        assert result.violations == 1
+        assert "spent" in result.details[0]
+
+    def test_failed_order_needs_no_shipment(self):
+        views = base_views()
+        views["orders"]["1"]["orders"]["o1"]["status"] = \
+            OrderStatus.PAYMENT_FAILED
+        views["shipments"]["part-0"]["shipments"].clear()
+        views["customers"]["1"]["spent_cents"] = 0
+        result = _audit_atomicity(views, max_details=5)
+        assert result.passed
+
+    def test_details_capped(self):
+        views = base_views()
+        for index in range(10):
+            views["stock"][f"9/{index}"] = {
+                "qty_available": 1, "qty_reserved": 1, "active": True}
+        result = _audit_atomicity(views, max_details=3)
+        assert result.violations == 10
+        assert len(result.details) == 3
+
+
+class TestIntegrityAuditor:
+    def test_clean_views_pass(self):
+        assert _audit_integrity(base_views(), max_details=5).passed
+
+    def test_active_stock_for_inactive_product_flagged(self):
+        views = base_views()
+        views["products"]["1/10"]["active"] = False
+        result = _audit_integrity(views, max_details=5)
+        assert result.violations == 1
+
+    def test_active_stock_for_missing_product_flagged(self):
+        views = base_views()
+        views["products"].clear()
+        result = _audit_integrity(views, max_details=5)
+        assert result.violations == 1
+
+    def test_inactive_stock_for_inactive_product_ok(self):
+        views = base_views()
+        views["products"]["1/10"]["active"] = False
+        views["stock"]["1/10"]["active"] = False
+        assert _audit_integrity(views, max_details=5).passed
+
+
+class TestEventOrderAuditor:
+    def test_payment_before_shipment_passes(self):
+        result = _audit_event_order(base_views(), max_details=5)
+        assert result.passed
+        assert result.checked == 1
+
+    def test_shipment_before_payment_flagged(self):
+        views = base_views()
+        views["event_log"].reverse()
+        result = _audit_event_order(views, max_details=5)
+        assert result.violations == 1
+
+    def test_shipment_without_payment_flagged(self):
+        views = base_views()
+        views["event_log"] = [views["event_log"][1]]
+        result = _audit_event_order(views, max_details=5)
+        assert result.violations == 1
+
+    def test_payment_without_shipment_not_checked(self):
+        views = base_views()
+        views["event_log"] = [views["event_log"][0]]
+        result = _audit_event_order(views, max_details=5)
+        assert result.checked == 0
+        assert result.passed
+
+    def test_duplicate_observations_use_first(self):
+        views = base_views()
+        # A replayed payment event observed again later must not flip
+        # the verdict: first observations decide.
+        views["event_log"].append({
+            "subscriber": "s", "time": 3.0, "order_id": "o1",
+            "kind": "payment_confirmed"})
+        result = _audit_event_order(views, max_details=5)
+        assert result.passed
+
+    def test_subscribers_audited_independently(self):
+        views = base_views()
+        views["event_log"] += [
+            {"subscriber": "t", "time": 1.0, "order_id": "o1",
+             "kind": "shipment_notification"},
+            {"subscriber": "t", "time": 2.0, "order_id": "o1",
+             "kind": "payment_confirmed"},
+        ]
+        result = _audit_event_order(views, max_details=5)
+        assert result.checked == 2
+        assert result.violations == 1
+
+
+class TestAuditApp:
+    class FakeApp:
+        name = "fake"
+
+        def audit_views(self):
+            return base_views()
+
+    def test_audit_without_driver_covers_posthoc_criteria(self):
+        report = audit_app(self.FakeApp())
+        assert set(report.results) == {
+            "C1-atomicity", "C3-integrity", "C5-event-ordering"}
+        assert report.all_pass
+
+    def test_audit_with_driver_adds_online_criteria(self):
+        class FakeDriver:
+            observations = {"adds_checked": 10, "stale_adds": 2,
+                            "dashboards_checked": 5,
+                            "dashboard_mismatches": 0}
+
+        report = audit_app(self.FakeApp(), FakeDriver())
+        assert set(report.results) == set(CRITERIA)
+        assert not report.results["C2-causal-replication"].passed
+        assert report.results["C4-snapshot-dashboard"].passed

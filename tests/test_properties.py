@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import VersionVector
+from repro.marketplace import logic
+from repro.runtime import Environment
+from repro.sqlstore import MVCCEngine, SerializationError
+
+
+# ---------------------------------------------------------------------------
+# Version vectors form a join-semilattice.
+# ---------------------------------------------------------------------------
+nodes = st.sampled_from(["a", "b", "c", "d"])
+vectors = st.dictionaries(nodes, st.integers(min_value=0, max_value=20),
+                          max_size=4).map(VersionVector)
+
+
+@given(vectors, vectors)
+def test_merge_is_commutative(x, y):
+    assert x.merge(y) == y.merge(x)
+
+
+@given(vectors, vectors, vectors)
+def test_merge_is_associative(x, y, z):
+    assert x.merge(y).merge(z) == x.merge(y.merge(z))
+
+
+@given(vectors)
+def test_merge_is_idempotent(x):
+    assert x.merge(x) == x
+
+
+@given(vectors, vectors)
+def test_merge_dominates_both_inputs(x, y):
+    merged = x.merge(y)
+    assert merged.dominates(x)
+    assert merged.dominates(y)
+
+
+@given(vectors, st.lists(nodes, max_size=5))
+def test_increment_strictly_advances(x, increments):
+    current = x
+    for node in increments:
+        advanced = current.increment(node)
+        assert advanced.dominates(current)
+        assert advanced != current
+        current = advanced
+
+
+@given(vectors, vectors)
+def test_partial_order_antisymmetry(x, y):
+    if x.dominates(y) and y.dominates(x):
+        assert x == y
+
+
+# ---------------------------------------------------------------------------
+# Stock reservation protocol never violates its invariant.
+# ---------------------------------------------------------------------------
+@st.composite
+def stock_operations(draw):
+    initial = draw(st.integers(min_value=0, max_value=50))
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["reserve", "confirm", "cancel", "restock"]),
+        st.integers(min_value=1, max_value=10)), max_size=30))
+    return initial, ops
+
+
+@given(stock_operations())
+def test_stock_invariant_holds_under_any_op_sequence(scenario):
+    initial, ops = scenario
+    state = logic.stock.new_item(1, 1, initial)
+    for op, qty in ops:
+        if op == "reserve":
+            state, _ = logic.stock.reserve(state, qty)
+        elif op == "confirm":
+            qty = min(qty, state["qty_reserved"])
+            if qty > 0:
+                state = logic.stock.confirm_reservation(state, qty)
+        elif op == "cancel":
+            state = logic.stock.cancel_reservation(state, qty)
+        else:
+            state = logic.stock.restock(state, qty)
+        assert logic.stock.is_consistent(state), (op, qty, state)
+
+
+# ---------------------------------------------------------------------------
+# Cart totals are non-negative and checkout preserves item data.
+# ---------------------------------------------------------------------------
+cart_items = st.builds(
+    dict,
+    seller_id=st.integers(min_value=1, max_value=5),
+    product_id=st.integers(min_value=1, max_value=10),
+    quantity=st.integers(min_value=1, max_value=9),
+    unit_price_cents=st.integers(min_value=0, max_value=10_000),
+    price_version=st.integers(min_value=1, max_value=5),
+    voucher_cents=st.integers(min_value=0, max_value=2_000),
+)
+
+
+@given(st.lists(cart_items, min_size=1, max_size=10))
+def test_cart_total_is_never_negative(items):
+    state = logic.cart.new_cart(1)
+    for entry in items:
+        state = logic.cart.add_item(state, entry)
+    assert logic.cart.total_cents(state) >= 0
+
+
+@given(st.lists(cart_items, min_size=1, max_size=10))
+def test_checkout_total_matches_order_total(items):
+    state = logic.cart.new_cart(1)
+    for entry in items:
+        state = logic.cart.add_item(state, entry)
+    expected = logic.cart.total_cents(state)
+    state, sealed = logic.cart.seal_for_checkout(state)
+    orders = logic.order.new_customer_orders(1)
+    orders, order = logic.order.assemble(orders, "o1", sealed, now=0.0)
+    assert order["total_cents"] == expected
+
+
+# ---------------------------------------------------------------------------
+# MVCC snapshot stability under arbitrary interleaved writers.
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                          st.integers(min_value=0, max_value=1_000)),
+                min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_snapshot_sum_is_stable_under_later_writes(writes):
+    engine = MVCCEngine()
+    engine.create_table("t", ["id", "value"], primary_key="id")
+    for key in range(10):
+        engine.autocommit("t", {"id": key, "value": 0})
+    snapshot = engine.snapshot()
+    baseline = snapshot.aggregate("t", "value")
+    for key, value in writes:
+        engine.autocommit("t", {"id": key, "value": value})
+    assert snapshot.aggregate("t", "value") == baseline
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_first_committer_wins_never_loses_updates(data):
+    """Counter incremented via SI transactions with retry: no lost updates."""
+    engine = MVCCEngine()
+    engine.create_table("t", ["id", "value"], primary_key="id")
+    engine.autocommit("t", {"id": 1, "value": 0})
+    rounds = data.draw(st.integers(min_value=1, max_value=15))
+    for _ in range(rounds):
+        # Two concurrent increments; the loser retries.
+        t1 = engine.begin()
+        t2 = engine.begin()
+        for txn in (t1, t2):
+            row = txn.read("t", 1)
+            txn.update("t", 1, {"value": row["value"] + 1})
+        t1.commit()
+        try:
+            t2.commit()
+        except SerializationError:
+            retry = engine.begin()
+            row = retry.read("t", 1)
+            retry.update("t", 1, {"value": row["value"] + 1})
+            retry.commit()
+    final = engine.snapshot().read("t", 1)
+    assert final["value"] == 2 * rounds
+
+
+# ---------------------------------------------------------------------------
+# The DES kernel orders timeouts correctly for any delay multiset.
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=30))
+def test_kernel_fires_timeouts_in_nondecreasing_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash placement is stable and balanced-ish.
+# ---------------------------------------------------------------------------
+@given(st.sets(st.text(min_size=1, max_size=12), min_size=10, max_size=80))
+@settings(max_examples=30)
+def test_placement_deterministic_across_instances(keys):
+    from repro.actors.placement import ConsistentHashPlacement
+
+    class FakeSilo:
+        def __init__(self, name):
+            self.name = name
+
+    def build():
+        placement = ConsistentHashPlacement()
+        for index in range(4):
+            placement.add_silo(FakeSilo(f"s{index}"))
+        return placement
+
+    p1, p2 = build(), build()
+    for key in keys:
+        assert p1.place("T", key).name == p2.place("T", key).name

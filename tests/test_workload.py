@@ -1,0 +1,254 @@
+"""Unit tests for workload configuration, generation and key selection."""
+
+import random
+
+import pytest
+
+from repro.core.workload import (
+    Dataset,
+    InputCoordinator,
+    ProductKeyRegistry,
+    TransactionMix,
+    WorkloadConfig,
+    ZipfSampler,
+    generate_dataset,
+)
+
+
+class TestTransactionMix:
+    def test_normalised_sums_to_one(self):
+        weights = TransactionMix().normalised()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_custom_weights(self):
+        mix = TransactionMix(checkout=50, price_update=50,
+                             product_delete=0, update_delivery=0,
+                             dashboard=0)
+        weights = mix.normalised()
+        assert weights["checkout"] == pytest.approx(0.5)
+        assert weights["product_delete"] == 0.0
+
+    def test_zero_total_rejected(self):
+        mix = TransactionMix(checkout=0, price_update=0, product_delete=0,
+                             update_delivery=0, dashboard=0)
+        with pytest.raises(ValueError):
+            mix.normalised()
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        config = WorkloadConfig()
+        assert config.total_products == \
+            config.sellers * config.products_per_seller
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sellers=0),
+        dict(customers=0),
+        dict(products_per_seller=0),
+        dict(voucher_probability=1.5),
+        dict(min_cart_items=0),
+        dict(min_cart_items=3, max_cart_items=2),
+        dict(zipf_s=-0.1),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGenerator:
+    def test_counts_match_config(self):
+        config = WorkloadConfig(sellers=4, customers=10,
+                                products_per_seller=5,
+                                reserve_fraction=0.4)
+        dataset = generate_dataset(config, seed=1)
+        assert len(dataset.sellers) == 4
+        assert len(dataset.customers) == 10
+        assert len(dataset.products) == 20
+        assert len(dataset.reserve_products) == 4 * 2  # 40% of 5
+        assert len(dataset.stock) == 20 + 8
+
+    def test_product_ids_globally_unique(self):
+        dataset = generate_dataset(WorkloadConfig(sellers=5,
+                                                  products_per_seller=7),
+                                   seed=2)
+        ids = [product.product_id for product in dataset.all_products()]
+        assert len(ids) == len(set(ids))
+
+    def test_every_product_has_stock(self):
+        config = WorkloadConfig(sellers=3, products_per_seller=4,
+                                initial_stock=55)
+        dataset = generate_dataset(config, seed=3)
+        for product in dataset.all_products():
+            assert dataset.stock[product.key].qty_available == 55
+
+    def test_deterministic_for_seed(self):
+        config = WorkloadConfig()
+        first = generate_dataset(config, seed=9)
+        second = generate_dataset(config, seed=9)
+        assert [p.as_dict() for p in first.products] == \
+            [p.as_dict() for p in second.products]
+
+    def test_different_seeds_differ(self):
+        config = WorkloadConfig()
+        first = generate_dataset(config, seed=9)
+        second = generate_dataset(config, seed=10)
+        assert [p.price_cents for p in first.products] != \
+            [p.price_cents for p in second.products]
+
+    def test_prices_within_configured_range(self):
+        config = WorkloadConfig(min_price_cents=500, max_price_cents=600)
+        dataset = generate_dataset(config, seed=4)
+        for product in dataset.all_products():
+            assert 500 <= product.price_cents <= 600
+
+    def test_dataset_summary_and_lookup(self):
+        dataset = generate_dataset(WorkloadConfig(sellers=2,
+                                                  products_per_seller=3),
+                                   seed=5)
+        summary = dataset.summary()
+        assert summary["products"] == 6
+        product = dataset.products[0]
+        assert dataset.product_by_key(product.key) is product
+        assert dataset.product_by_key("99/99") is None
+
+
+class TestZipfSampler:
+    def test_uniform_when_s_zero(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(10, 0.0, rng)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[sampler.sample()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_skewed_prefers_low_ranks(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(100, 1.2, rng)
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[sampler.sample()] += 1
+        assert counts[0] > counts[10] > counts[50]
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 0.9, random.Random(1))
+        total = sum(sampler.probability(rank) for rank in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_samples_within_range(self):
+        sampler = ZipfSampler(5, 2.0, random.Random(3))
+        for _ in range(1000):
+            assert 0 <= sampler.sample() < 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0, random.Random(1))
+
+
+class TestProductKeyRegistry:
+    def make(self):
+        initial = [(1, i) for i in range(1, 6)]
+        reserve = [(1, i) for i in range(6, 9)]
+        return ProductKeyRegistry(initial, reserve)
+
+    def test_rank_lookup(self):
+        registry = self.make()
+        assert registry.product_at(0) == (1, 1)
+        assert registry.rank_of((1, 3)) == 2
+        assert registry.rank_of((9, 9)) is None
+
+    def test_delete_rebinds_rank_to_reserve(self):
+        registry = self.make()
+        outcome = registry.delete_at(0)
+        assert outcome is not None
+        deleted, replacement = outcome
+        assert deleted == (1, 1)
+        assert replacement == (1, 8)  # reserves pop from the end
+        assert registry.product_at(0) == (1, 8)
+        assert not registry.is_live((1, 1))
+        assert registry.is_live((1, 8))
+
+    def test_population_size_invariant_under_deletes(self):
+        registry = self.make()
+        for _ in range(3):
+            registry.delete_at(1)
+        assert len(registry) == 5
+        assert len(set(registry.live_products())) == 5
+
+    def test_delete_refused_when_reserve_empty(self):
+        registry = self.make()
+        for _ in range(3):
+            assert registry.delete_at(0) is not None
+        assert registry.delete_at(0) is None
+        assert registry.refused_deletes == 1
+        assert registry.deletes == 3
+
+    def test_reserve_remaining(self):
+        registry = self.make()
+        assert registry.reserve_remaining == 3
+        registry.delete_at(0)
+        assert registry.reserve_remaining == 2
+
+
+class TestInputCoordinator:
+    def make(self):
+        initial = [(1, i) for i in range(1, 6)]
+        registry = ProductKeyRegistry(initial, [(1, 9)])
+        sampler = ZipfSampler(5, 0.5, random.Random(7))
+        return InputCoordinator([1, 2, 3], registry, sampler,
+                                random.Random(8))
+
+    def test_lease_customer_exclusive(self):
+        coordinator = self.make()
+        leased = set()
+        for _ in range(3):
+            customer = coordinator.lease_customer()
+            assert customer is not None
+            assert customer not in leased
+            leased.add(customer)
+        assert coordinator.lease_customer() is None
+
+    def test_release_customer_allows_release(self):
+        coordinator = self.make()
+        customer = coordinator.lease_customer()
+        coordinator.release_customer(customer)
+        assert coordinator.lease_customer() is not None
+
+    def test_lease_product_exclusive(self):
+        coordinator = self.make()
+        seen = set()
+        for _ in range(5):
+            lease = coordinator.lease_product(attempts=50)
+            if lease is None:
+                break
+            rank, key = lease
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) >= 2
+
+    def test_release_product(self):
+        coordinator = self.make()
+        rank, key = coordinator.lease_product(attempts=50)
+        coordinator.release_product(key)
+        # Can lease the same key again.
+        for _ in range(100):
+            lease = coordinator.lease_product(attempts=50)
+            if lease and lease[1] == key:
+                break
+            if lease:
+                coordinator.release_product(lease[1])
+        else:
+            pytest.fail("released product never leasable again")
+
+    def test_sample_product_returns_live_keys(self):
+        coordinator = self.make()
+        for _ in range(50):
+            key = coordinator.sample_product()
+            assert key in [(1, i) for i in range(1, 6)]
+
+    def test_empty_customer_list_rejected(self):
+        registry = ProductKeyRegistry([(1, 1)], [])
+        sampler = ZipfSampler(1, 0.0, random.Random(1))
+        with pytest.raises(ValueError):
+            InputCoordinator([], registry, sampler, random.Random(1))
