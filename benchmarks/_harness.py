@@ -11,6 +11,7 @@ target.
 
 from __future__ import annotations
 
+import os
 import typing
 
 from repro.analysis.anomalies import AnomalyReport
@@ -27,6 +28,20 @@ APP_ORDER = ("orleans-eventual", "orleans-transactions", "statefun",
              "customized-orleans")
 
 DEFAULT_WORKLOAD = dict(sellers=6, customers=48, products_per_seller=6)
+
+#: Quick mode (REPRO_BENCH_QUICK=1): shrink measured windows so the CI
+#: smoke job finishes in minutes.  Numbers lose precision but every
+#: bench still exercises its full code path and emits its table.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+#: Window multiplier applied by run_experiment in quick mode.
+QUICK_DURATION_SCALE = 0.4
+
+
+def quick_scaled(duration: float) -> float:
+    """Scale a measured window for quick mode (min 0.2 sim-seconds)."""
+    if not QUICK:
+        return duration
+    return max(0.2, duration * QUICK_DURATION_SCALE)
 
 
 def run_experiment(app_name: str,
@@ -57,7 +72,8 @@ def run_experiment(app_name: str,
                                  **(workload_kwargs or {})})
     driver = BenchmarkDriver(env, app, workload,
                              DriverConfig(workers=workers, warmup=warmup,
-                                          duration=duration, drain=drain))
+                                          duration=quick_scaled(duration),
+                                          drain=drain))
     metrics = driver.run()
     report = audit_app(app, driver)
     return metrics, report, app

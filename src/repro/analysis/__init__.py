@@ -1,11 +1,5 @@
 """Statistics helpers and anomaly analysis for benchmark reports."""
 
-from repro.analysis.stats import (
-    describe,
-    mean,
-    percentile,
-    percentiles,
-)
 from repro.analysis.anomalies import AnomalyReport
 from repro.analysis.report import (
     criteria_rows,
@@ -13,17 +7,27 @@ from repro.analysis.report import (
     experiment_report,
     markdown_table,
     metrics_rows,
+    saturation_second,
+    timeline_rows,
+)
+from repro.analysis.stats import (
+    describe,
+    mean,
+    percentile,
+    percentiles,
 )
 
 __all__ = [
     "AnomalyReport",
     "criteria_rows",
     "csv_table",
+    "describe",
     "experiment_report",
     "markdown_table",
-    "metrics_rows",
-    "describe",
     "mean",
+    "metrics_rows",
     "percentile",
     "percentiles",
+    "saturation_second",
+    "timeline_rows",
 ]

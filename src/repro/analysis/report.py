@@ -55,22 +55,43 @@ def csv_table(rows: list[dict], columns: list[str] | None = None) -> str:
 
 
 def metrics_rows(metrics: "RunMetrics") -> list[dict]:
-    """Flatten RunMetrics into per-operation rows."""
+    """Flatten RunMetrics into per-operation export rows.
+
+    Delegates to :meth:`RunMetrics.summary_rows` (one row builder to
+    keep in sync), swapping the display-rounded ``tps`` column for a
+    finer ``throughput_tps`` and adding ``mean_ms``.  Open-loop queue
+    columns come along on every row, so markdown/CSV renderers that
+    infer columns from the first row keep them.
+    """
     rows = []
-    for name, op in sorted(metrics.ops.items()):
-        rows.append({
-            "app": metrics.app,
-            "operation": name,
-            "ok": op.ok,
-            "rejected": op.rejected,
-            "failed": op.failed,
-            "throughput_tps": round(op.throughput, 2),
-            "p50_ms": round(op.latency["p50"] * 1000, 3),
-            "p95_ms": round(op.latency["p95"] * 1000, 3),
-            "p99_ms": round(op.latency["p99"] * 1000, 3),
-            "mean_ms": round(op.latency["mean"] * 1000, 3),
-        })
+    for row, (_, op) in zip(metrics.summary_rows(),
+                            sorted(metrics.ops.items())):
+        row = dict(row)
+        del row["tps"]
+        row["throughput_tps"] = round(op.throughput, 2)
+        row["mean_ms"] = round(op.latency["mean"] * 1000, 3)
+        rows.append(row)
     return rows
+
+
+def timeline_rows(metrics: "RunMetrics") -> list[dict]:
+    """Per-second committed throughput: the saturation-knee series."""
+    return [{"app": metrics.app, "second": second, "committed": count}
+            for second, count in metrics.timeline]
+
+
+def saturation_second(metrics: "RunMetrics",
+                      fraction: float = 0.95) -> int | None:
+    """First second whose completion count reaches ``fraction`` of the
+    run's per-second peak — where the throughput curve flattens (the
+    knee) on a ramped open-loop run.  ``None`` without a timeline."""
+    if not metrics.timeline:
+        return None
+    peak = max(count for _, count in metrics.timeline)
+    for second, count in metrics.timeline:
+        if count >= fraction * peak:
+            return second
+    return None  # pragma: no cover - peak always reaches itself
 
 
 def criteria_rows(reports: typing.Iterable["CriteriaReport"]) -> list[

@@ -15,10 +15,10 @@ onto a different data management stack:
 """
 
 from repro.apps.base import AppConfig, MarketplaceApp, OperationResult
+from repro.apps.customized import CustomizedOrleansApp
 from repro.apps.orleans_eventual import OrleansEventualApp
 from repro.apps.orleans_transactions import OrleansTransactionsApp
 from repro.apps.statefun_app import StatefunApp
-from repro.apps.customized import CustomizedOrleansApp
 
 ALL_APPS = {
     "orleans-eventual": OrleansEventualApp,

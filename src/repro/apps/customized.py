@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import typing
 
-from repro.apps.base import AppConfig, failed, ok, rejected
+from repro.apps.base import AppConfig, ok
 from repro.apps.grains_txn import TxnCartGrain
 from repro.apps.logstore import AuditLogStore
 from repro.apps.orleans_transactions import OrleansTransactionsApp
 from repro.broker import DeliveryMode
 from repro.kvstore import CausalSession, ReplicatedKV
-from repro.marketplace.constants import OrderStatus, Topics
+from repro.marketplace.constants import OrderStatus
 from repro.marketplace.logic import cart as cart_logic
 from repro.marketplace.logic import order as order_logic
 from repro.marketplace.logic import seller as seller_logic

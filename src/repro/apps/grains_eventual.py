@@ -10,7 +10,6 @@ the benchmark's criteria are designed to expose.
 
 from __future__ import annotations
 
-import typing
 
 from repro.actors import Grain
 from repro.marketplace.constants import OrderStatus, Topics

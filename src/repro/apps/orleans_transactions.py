@@ -15,11 +15,10 @@ import typing
 import zlib
 
 from repro.actors import Cluster, ClusterConfig
-from repro.apps import grains_txn as grains
 from repro.apps.base import AppConfig, MarketplaceApp, failed, ok, rejected
-from repro.apps.grains_txn import PaymentDeclined, TXN_GRAINS
+from repro.apps.grains_txn import TXN_GRAINS, PaymentDeclined
 from repro.broker import Broker, DeliveryMode
-from repro.marketplace.constants import OrderStatus, Topics
+from repro.marketplace.constants import Topics
 from repro.txn import TransactionAborted, TransactionRunner, TxnConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard

@@ -14,6 +14,11 @@ Compare all four implementations (throughput + criteria matrix)::
 Audit anomalies under message loss::
 
     python -m repro.cli audit --app orleans-eventual --drop 0.02
+
+Replay a named open-loop scenario (run ``scenario --list`` for the
+catalogue)::
+
+    python -m repro.cli scenario flash-sale --app orleans-eventual
 """
 
 from __future__ import annotations
@@ -31,8 +36,19 @@ from repro.core import (
     audit_app,
 )
 from repro.core.criteria import CRITERIA
+from repro.core.scenarios import get_scenario, scenario_names
 from repro.core.workload.config import TransactionMix
 from repro.runtime import Environment
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--silos", type=int, default=4,
+                        help="cluster size (silos / partitions)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="CPU cores per silo")
+    parser.add_argument("--drop", type=float, default=0.0,
+                        help="message-loss probability")
+    parser.add_argument("--seed", type=int, default=42)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -42,10 +58,6 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="measured window (simulated seconds)")
     parser.add_argument("--warmup", type=float, default=0.5,
                         help="warm-up (simulated seconds)")
-    parser.add_argument("--silos", type=int, default=4,
-                        help="cluster size (silos / partitions)")
-    parser.add_argument("--cores", type=int, default=4,
-                        help="CPU cores per silo")
     parser.add_argument("--sellers", type=int, default=10)
     parser.add_argument("--customers", type=int, default=100)
     parser.add_argument("--products", type=int, default=10,
@@ -53,9 +65,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zipf", type=float, default=0.8,
                         help="product popularity skew")
     parser.add_argument("--checkout-weight", type=float, default=65.0)
-    parser.add_argument("--drop", type=float, default=0.0,
-                        help="message-loss probability")
-    parser.add_argument("--seed", type=int, default=42)
+    _add_cluster_arguments(parser)
 
 
 def _run_one(app_name: str, args: argparse.Namespace):
@@ -152,6 +162,74 @@ def cmd_audit(args: argparse.Namespace,
     return 0 if report.all_pass else 1
 
 
+def _print_scenario_metrics(scenario, metrics,
+                            stream: typing.TextIO) -> None:
+    stats = metrics.open_loop
+    print(f"\nscenario: {scenario.name}  app: {metrics.app}", file=stream)
+    print(scenario.description, file=stream)
+    print(f"\noffered rate: {stats['offered_rate']:,.1f} arrivals/s  "
+          f"arrivals: {stats['arrivals']}  "
+          f"completed: {stats['completed']}  shed: {stats['shed']}",
+          file=stream)
+    print(f"dispatch pool: {metrics.workers}  "
+          f"max in-flight: {stats['max_in_flight']}  "
+          f"max queue: {stats['max_queue']}  "
+          f"queue at drain end: {stats['final_queue']}", file=stream)
+    print(f"total committed throughput: "
+          f"{metrics.total_throughput:,.1f} tx/s", file=stream)
+    header = (f"{'operation':18s} {'ok':>7s} {'rej':>5s} {'fail':>5s} "
+              f"{'svc p50':>8s} {'svc p99':>8s} {'queue p50':>10s} "
+              f"{'queue p99':>10s}")
+    print("\nservice latency vs queueing delay (ms):", file=stream)
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    for name, op in sorted(metrics.ops.items()):
+        queue = op.queue_delay or {}
+        print(f"{name:18s} {op.ok:7d} {op.rejected:5d} {op.failed:5d} "
+              f"{op.latency['p50'] * 1000:8.2f} "
+              f"{op.latency['p99'] * 1000:8.2f} "
+              f"{queue.get('p50', 0.0) * 1000:10.2f} "
+              f"{queue.get('p99', 0.0) * 1000:10.2f}", file=stream)
+    if metrics.timeline:
+        print("\nthroughput timeline (completions per simulated "
+              "second):", file=stream)
+        peak = max(count for _, count in metrics.timeline)
+        for second, count in metrics.timeline:
+            bar = "#" * max(1, round(count / peak * 40))
+            print(f"  t={second:3d}s {count:6d} {bar}", file=stream)
+
+
+def cmd_scenario(args: argparse.Namespace,
+                 stream: typing.TextIO = sys.stdout) -> int:
+    if args.list or args.name is None:
+        print("available scenarios:", file=stream)
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            print(f"  {name:20s} {scenario.description}", file=stream)
+        return 0
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=stream)
+        return 2
+    if args.rate_scale <= 0 or args.duration_scale <= 0:
+        print("error: --rate-scale and --duration-scale must be > 0",
+              file=stream)
+        return 2
+    env = Environment(seed=args.seed)
+    app = ALL_APPS[args.app](env, AppConfig(
+        silos=args.silos, cores_per_silo=args.cores,
+        drop_probability=args.drop))
+    driver = scenario.build_driver(
+        env, app, rate_scale=args.rate_scale,
+        duration_scale=args.duration_scale, data_seed=args.seed)
+    metrics = driver.run()
+    report = audit_app(app, driver)
+    _print_scenario_metrics(scenario, metrics, stream)
+    _print_report(report, stream)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Online Marketplace benchmark CLI")
@@ -175,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
                               default="orleans-eventual")
     _add_common_arguments(audit_parser)
     audit_parser.set_defaults(func=cmd_audit)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="replay a named open-loop scenario")
+    scenario_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario name (omit or use --list for the catalogue)")
+    scenario_parser.add_argument("--list", action="store_true",
+                                 help="list the scenario catalogue")
+    scenario_parser.add_argument("--app", choices=sorted(ALL_APPS),
+                                 default="orleans-eventual")
+    scenario_parser.add_argument(
+        "--rate-scale", type=float, default=1.0,
+        help="multiply the scenario's arrival rates")
+    scenario_parser.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="stretch or shrink the measured window")
+    _add_cluster_arguments(scenario_parser)
+    scenario_parser.set_defaults(func=cmd_scenario)
     return parser
 
 

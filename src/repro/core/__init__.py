@@ -1,27 +1,58 @@
-"""Benchmark core: workload definition, driver and criteria.
+"""Benchmark core: workload definition, drivers and criteria.
 
 This package is the paper's primary contribution: the Online Marketplace
 workload (data generation, key distributions, transaction mix), the
-benchmark driver (ingestion, warm-up, submission, statistics, cleanup)
-and the data management criteria auditors.
+benchmark drivers (closed-loop and open-loop/rate-controlled), the
+named scenario suite and the data management criteria auditors.
 """
 
+from repro.core.criteria import CriteriaReport, audit_app
+from repro.core.driver.arrivals import (
+    ArrivalProcess,
+    ConstantRate,
+    PhasedArrivals,
+    PoissonArrivals,
+    RampArrivals,
+)
+from repro.core.driver.driver import BenchmarkDriver, DriverConfig
+from repro.core.driver.issuer import TransactionIssuer
+from repro.core.driver.metrics import (
+    LatencyRecorder,
+    RunMetrics,
+    StreamingHistogram,
+)
+from repro.core.driver.open_loop import (
+    HotspotSpec,
+    OpenLoopConfig,
+    OpenLoopDriver,
+)
+from repro.core.scenarios import SCENARIOS, Scenario, get_scenario
 from repro.core.workload.config import TransactionMix, WorkloadConfig
 from repro.core.workload.dataset import Dataset
 from repro.core.workload.generator import generate_dataset
-from repro.core.driver.driver import BenchmarkDriver, DriverConfig
-from repro.core.driver.metrics import LatencyRecorder, RunMetrics
-from repro.core.criteria import CriteriaReport, audit_app
 
 __all__ = [
+    "ArrivalProcess",
     "BenchmarkDriver",
+    "ConstantRate",
     "CriteriaReport",
     "Dataset",
     "DriverConfig",
+    "HotspotSpec",
     "LatencyRecorder",
+    "OpenLoopConfig",
+    "OpenLoopDriver",
+    "PhasedArrivals",
+    "PoissonArrivals",
+    "RampArrivals",
     "RunMetrics",
+    "SCENARIOS",
+    "Scenario",
+    "StreamingHistogram",
+    "TransactionIssuer",
     "TransactionMix",
     "WorkloadConfig",
     "audit_app",
     "generate_dataset",
+    "get_scenario",
 ]

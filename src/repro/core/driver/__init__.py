@@ -1,12 +1,40 @@
-"""The benchmark driver: experiment lifecycle and statistics."""
+"""The benchmark drivers: experiment lifecycle and statistics."""
 
+from repro.core.driver.arrivals import (
+    ArrivalProcess,
+    ConstantRate,
+    PhasedArrivals,
+    PoissonArrivals,
+    RampArrivals,
+)
 from repro.core.driver.driver import BenchmarkDriver, DriverConfig
-from repro.core.driver.metrics import LatencyRecorder, OpStats, RunMetrics
+from repro.core.driver.issuer import TransactionIssuer
+from repro.core.driver.metrics import (
+    LatencyRecorder,
+    OpStats,
+    RunMetrics,
+    StreamingHistogram,
+)
+from repro.core.driver.open_loop import (
+    HotspotSpec,
+    OpenLoopConfig,
+    OpenLoopDriver,
+)
 
 __all__ = [
+    "ArrivalProcess",
     "BenchmarkDriver",
+    "ConstantRate",
     "DriverConfig",
+    "HotspotSpec",
     "LatencyRecorder",
     "OpStats",
+    "OpenLoopConfig",
+    "OpenLoopDriver",
+    "PhasedArrivals",
+    "PoissonArrivals",
+    "RampArrivals",
     "RunMetrics",
+    "StreamingHistogram",
+    "TransactionIssuer",
 ]

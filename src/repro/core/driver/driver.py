@@ -1,30 +1,24 @@
-"""The benchmark driver: data generation, ingestion, warm-up,
-closed-loop workload submission, statistics collection and cleanup.
+"""The closed-loop benchmark driver: data generation, ingestion,
+warm-up, workload submission, statistics collection and cleanup.
 
 The driver mirrors the lifecycle the paper describes for its .NET
 driver.  Workers are closed-loop: each submits one business transaction,
 waits for the result, records it, then picks the next transaction by
-the configured mix.  Transaction inputs are leased through the
-:class:`InputCoordinator` so concurrent workers never race on the same
-cart or the same product's seller operations.
+the configured mix.  The transactions themselves are issued through the
+shared :class:`~repro.core.driver.issuer.TransactionIssuer`, the code
+path it has in common with the open-loop driver.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import typing
 
+from repro.core.driver.issuer import IssuerStateView, TransactionIssuer
 from repro.core.driver.metrics import LatencyRecorder, RunMetrics
 from repro.core.workload.config import WorkloadConfig
 from repro.core.workload.dataset import Dataset
-from repro.core.workload.distributions import (
-    ProductKeyRegistry,
-    ZipfSampler,
-)
 from repro.core.workload.generator import generate_dataset
-from repro.core.workload.inputs import InputCoordinator
-from repro.marketplace.constants import PaymentMethod
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import MarketplaceApp
@@ -53,8 +47,8 @@ class DriverConfig:
             raise ValueError("invalid timing parameters")
 
 
-class BenchmarkDriver:
-    """Drives one app through one experiment."""
+class BenchmarkDriver(IssuerStateView):
+    """Drives one app through one closed-loop experiment."""
 
     def __init__(self, env: "Environment", app: "MarketplaceApp",
                  workload: WorkloadConfig | None = None,
@@ -67,32 +61,11 @@ class BenchmarkDriver:
         self.config = config or DriverConfig()
         self.dataset = dataset or generate_dataset(self.workload,
                                                    seed=data_seed)
-        initial = [(product.seller_id, product.product_id)
-                   for product in self.dataset.products]
-        reserve = [(product.seller_id, product.product_id)
-                   for product in self.dataset.reserve_products]
-        self.registry = ProductKeyRegistry(initial, reserve)
-        self.sampler = ZipfSampler(len(self.registry),
-                                   self.workload.zipf_s,
-                                   env.rng("driver-keys"))
-        self.coordinator = InputCoordinator(
-            self.dataset.customer_ids, self.registry, self.sampler,
-            env.rng("driver-inputs"))
         self.recorder = LatencyRecorder()
-        self._mix = self.workload.mix.normalised()
-        self._rng = env.rng("driver-mix")
-        self._order_ids = itertools.count(1)
+        self.issuer = TransactionIssuer(env, app, self.workload,
+                                        self.dataset, self.recorder)
         self._deadline = 0.0
         self._ingested = False
-        self.skipped = {"empty_cart": 0, "no_lease": 0, "no_reserve": 0}
-        # Online consistency observations consumed by the criteria
-        # auditors: acknowledged product versions vs. versions actually
-        # read into carts, and dashboard query-pair consistency.
-        self.acked_versions: dict[str, int] = {}
-        self.acked_deletes: set[str] = set()
-        self.observations = {"adds_checked": 0, "stale_adds": 0,
-                             "dashboards_checked": 0,
-                             "dashboard_mismatches": 0}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -108,15 +81,17 @@ class BenchmarkDriver:
             self._ingested = True
         measure_start = self.env.now + self.config.warmup
         self._deadline = measure_start + self.config.duration
+        self.issuer.record_until = self._deadline
+        self.recorder.timeline_origin = measure_start
         for index in range(self.config.workers):
             self.env.process(self._worker(index), name=f"worker-{index}")
-        self.env.process(self._metrics_gate(measure_start), name="gate")
+        self.env.process(self._metrics_gate(), name="gate")
         self.env.run(until=self._deadline + self.config.drain)
         return RunMetrics.from_recorder(
             self.app.name, self.config.workers, self.config.duration,
             self.recorder, runtime=self.app.runtime_stats())
 
-    def _metrics_gate(self, measure_start: float):
+    def _metrics_gate(self):
         if self.config.warmup > 0:
             yield self.env.timeout(self.config.warmup)
         self.recorder.enabled = True
@@ -126,148 +101,7 @@ class BenchmarkDriver:
     # ------------------------------------------------------------------
     def _worker(self, index: int):
         while self.env.now < self._deadline:
-            operation = self._choose_operation()
-            handler = getattr(self, f"_do_{operation}")
-            yield from handler()
+            operation = self.issuer.choose_operation()
+            yield from self.issuer.issue(operation)
             if self.config.think_time > 0:
                 yield self.env.timeout(self.config.think_time)
-
-    def _choose_operation(self) -> str:
-        point = self._rng.random()
-        cumulative = 0.0
-        for operation, weight in self._mix.items():
-            cumulative += weight
-            if point < cumulative:
-                return operation
-        return "checkout"
-
-    def _record(self, result, started: float) -> None:
-        if self.env.now <= self._deadline:
-            self.recorder.record(result.operation, result.status,
-                                 self.env.now - started)
-
-    # ------------------------------------------------------------------
-    # the five business transactions
-    # ------------------------------------------------------------------
-    def _do_checkout(self):
-        """A series of cart operations followed by the checkout call."""
-        customer_id = self.coordinator.lease_customer()
-        if customer_id is None:
-            self.skipped["no_lease"] += 1
-            yield self.env.timeout(0.001)
-            return
-        try:
-            n_items = self._rng.randint(self.workload.min_cart_items,
-                                        self.workload.max_cart_items)
-            added = 0
-            for _ in range(n_items):
-                seller_id, product_id = self.coordinator.sample_product()
-                quantity = self._rng.randint(self.workload.min_quantity,
-                                             self.workload.max_quantity)
-                voucher = 0
-                if self._rng.random() < self.workload.voucher_probability:
-                    voucher = self._rng.randint(
-                        1, self.workload.min_price_cents)
-                key = f"{seller_id}/{product_id}"
-                # Snapshot the acknowledged state *before* the add: only
-                # updates acked before the read started can be required
-                # of it (causal/read-your-writes semantics).
-                acked_version = self.acked_versions.get(key)
-                acked_delete = key in self.acked_deletes
-                started = self.env.now
-                result = yield from self.app.add_item(
-                    customer_id, seller_id, product_id, quantity, voucher)
-                self._record(result, started)
-                if result.ok:
-                    added += 1
-                    self._observe_add(result, acked_version, acked_delete)
-            if added == 0:
-                self.skipped["empty_cart"] += 1
-                return
-            order_id = f"o{customer_id}-{next(self._order_ids)}"
-            method = self._rng.choice(PaymentMethod.ALL)
-            started = self.env.now
-            result = yield from self.app.checkout(customer_id, order_id,
-                                                  method)
-            self._record(result, started)
-        finally:
-            self.coordinator.release_customer(customer_id)
-
-    def _do_price_update(self):
-        lease = self.coordinator.lease_product()
-        if lease is None:
-            self.skipped["no_lease"] += 1
-            yield self.env.timeout(0.001)
-            return
-        rank, (seller_id, product_id) = lease
-        try:
-            price = self._rng.randint(self.workload.min_price_cents,
-                                      self.workload.max_price_cents)
-            started = self.env.now
-            result = yield from self.app.update_price(seller_id,
-                                                      product_id, price)
-            self._record(result, started)
-            if result.ok:
-                key = f"{seller_id}/{product_id}"
-                self.acked_versions[key] = result.payload["version"]
-        finally:
-            self.coordinator.release_product((seller_id, product_id))
-
-    def _do_product_delete(self):
-        lease = self.coordinator.lease_product()
-        if lease is None:
-            self.skipped["no_lease"] += 1
-            yield self.env.timeout(0.001)
-            return
-        rank, (seller_id, product_id) = lease
-        try:
-            # Rebind the rank to a replacement *before* the app call:
-            # claiming the reserve first closes the race where two
-            # workers both pass a reserve check, both delete, and the
-            # loser leaves a dead product in the sampling population.
-            compensation = self.registry.delete_at(rank)
-            if compensation is None:
-                self.skipped["no_reserve"] += 1
-                return
-            started = self.env.now
-            result = yield from self.app.delete_product(seller_id,
-                                                        product_id)
-            self._record(result, started)
-            if result.ok:
-                key = f"{seller_id}/{product_id}"
-                self.acked_versions[key] = result.payload["version"]
-                self.acked_deletes.add(key)
-        finally:
-            self.coordinator.release_product((seller_id, product_id))
-
-    def _do_update_delivery(self):
-        started = self.env.now
-        result = yield from self.app.update_delivery()
-        self._record(result, started)
-
-    def _do_dashboard(self):
-        seller_id = self._rng.choice(self.dataset.seller_ids)
-        started = self.env.now
-        result = yield from self.app.dashboard(seller_id)
-        self._record(result, started)
-        if result.ok:
-            self.observations["dashboards_checked"] += 1
-            if (result.payload["amount_cents"]
-                    != result.payload["entries_total_cents"]):
-                self.observations["dashboard_mismatches"] += 1
-
-    def _observe_add(self, result, acked_version: int | None,
-                     acked_delete: bool) -> None:
-        """Check the replicated price against acknowledged updates.
-
-        A successful add whose price version is older than the last
-        update *acknowledged before the add started* — or any
-        successful add of a product whose deletion was acknowledged
-        before the add started — violates the causal (read-your-writes)
-        replication criterion.
-        """
-        self.observations["adds_checked"] += 1
-        stale = (acked_version is not None
-                 and result.payload["price_version"] < acked_version)
-        if stale or acked_delete:
-            self.observations["stale_adds"] += 1

@@ -1,0 +1,296 @@
+"""Shared transaction-issuing logic for both driver styles.
+
+The five business transactions — cart build-up + checkout, price
+update, product delete, update delivery, seller dashboard — used to
+live as ``_do_*`` methods on the closed-loop driver.  They are factored
+out here so the closed-loop :class:`~repro.core.driver.driver.
+BenchmarkDriver` and the open-loop :class:`~repro.core.driver.
+open_loop.OpenLoopDriver` issue transactions through one code path:
+same input leasing, same delete compensation, same online consistency
+observations (C2/C4), same skip accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.core.workload.config import WorkloadConfig
+from repro.core.workload.dataset import Dataset
+from repro.core.workload.distributions import (
+    HotspotSampler,
+    ProductKeyRegistry,
+    ZipfSampler,
+)
+from repro.core.workload.inputs import InputCoordinator
+from repro.marketplace.constants import PaymentMethod
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apps.base import MarketplaceApp
+    from repro.core.driver.metrics import LatencyRecorder
+    from repro.runtime import Environment
+
+#: The operations a driver may ask the issuer to perform.
+OPERATIONS = ("checkout", "price_update", "product_delete",
+              "update_delivery", "dashboard")
+
+#: Transaction-mix name -> the operation name the app reports results
+#: under (and therefore the key the recorder's histograms use).  The
+#: open-loop driver records queueing delay with these keys so queue
+#: wait and service latency land on the same rows.
+RESULT_OPERATION = {
+    "checkout": "checkout",
+    "price_update": "update_price",
+    "product_delete": "delete_product",
+    "update_delivery": "update_delivery",
+    "dashboard": "dashboard",
+}
+
+
+class IssuerStateView:
+    """Mixin exposing a driver's issuer state under the attribute names
+    the criteria auditors and tests historically used on the driver."""
+
+    issuer: "TransactionIssuer"
+
+    @property
+    def registry(self):
+        return self.issuer.registry
+
+    @property
+    def coordinator(self):
+        return self.issuer.coordinator
+
+    @property
+    def sampler(self):
+        return self.issuer.sampler
+
+    @property
+    def skipped(self) -> dict[str, int]:
+        return self.issuer.skipped
+
+    @property
+    def observations(self) -> dict[str, int]:
+        return self.issuer.observations
+
+    @property
+    def acked_versions(self) -> dict[str, int]:
+        return self.issuer.acked_versions
+
+    @property
+    def acked_deletes(self) -> set[str]:
+        return self.issuer.acked_deletes
+
+
+class TransactionIssuer:
+    """Issues business transactions against one app.
+
+    Owns the workload state shared by all driver styles: the product
+    key registry (stable Zipf ranks with delete compensation), the
+    input coordinator (exclusive customer/product leases), the
+    transaction-mix sampler and the consistency observations the
+    criteria auditors consume.
+    """
+
+    def __init__(self, env: "Environment", app: "MarketplaceApp",
+                 workload: WorkloadConfig, dataset: Dataset,
+                 recorder: "LatencyRecorder") -> None:
+        self.env = env
+        self.app = app
+        self.workload = workload
+        self.dataset = dataset
+        self.recorder = recorder
+        initial = [(product.seller_id, product.product_id)
+                   for product in dataset.products]
+        reserve = [(product.seller_id, product.product_id)
+                   for product in dataset.reserve_products]
+        self.registry = ProductKeyRegistry(initial, reserve)
+        self.sampler = HotspotSampler(
+            ZipfSampler(len(self.registry), workload.zipf_s,
+                        env.rng("driver-keys")),
+            env.rng("driver-hotspot"))
+        self.coordinator = InputCoordinator(
+            dataset.customer_ids, self.registry, self.sampler,
+            env.rng("driver-inputs"))
+        self._mix = workload.mix.normalised()
+        self._rng = env.rng("driver-mix")
+        self._order_ids = itertools.count(1)
+        #: Samples taken at or before this simulated time are recorded.
+        self.record_until = float("inf")
+        self.skipped = {"empty_cart": 0, "no_lease": 0, "no_reserve": 0}
+        # Online consistency observations consumed by the criteria
+        # auditors: acknowledged product versions vs. versions actually
+        # read into carts, and dashboard query-pair consistency.
+        self.acked_versions: dict[str, int] = {}
+        self.acked_deletes: set[str] = set()
+        self.observations = {"adds_checked": 0, "stale_adds": 0,
+                             "dashboards_checked": 0,
+                             "dashboard_mismatches": 0}
+
+    # ------------------------------------------------------------------
+    # operation selection & dispatch
+    # ------------------------------------------------------------------
+    def choose_operation(self) -> str:
+        point = self._rng.random()
+        cumulative = 0.0
+        for operation, weight in self._mix.items():
+            cumulative += weight
+            if point < cumulative:
+                return operation
+        return "checkout"
+
+    def issue(self, operation: str, record: bool = True):
+        """Run one business transaction (a process helper).
+
+        ``record=False`` suppresses metric samples for this one
+        transaction (the open-loop driver gates by *arrival* time, a
+        decision only the caller can make).  Returns True when the
+        transaction's headline app call — the one whose result is
+        recorded under ``RESULT_OPERATION[operation]`` — was made,
+        False when it was skipped (input lease miss, reserve pool dry,
+        empty cart): skipped transactions must not contribute
+        queue-delay/response samples, or those histograms would
+        disagree with the operation's outcome counts.
+        """
+        handler = getattr(self, f"do_{operation}")
+        return (yield from handler(record))
+
+    def _record(self, result, started: float, record: bool) -> None:
+        if record and self.env.now <= self.record_until:
+            self.recorder.record(result.operation, result.status,
+                                 self.env.now - started,
+                                 at=self.env.now)
+
+    # ------------------------------------------------------------------
+    # the five business transactions
+    # ------------------------------------------------------------------
+    def do_checkout(self, record: bool = True):
+        """A series of cart operations followed by the checkout call."""
+        customer_id = self.coordinator.lease_customer()
+        if customer_id is None:
+            self.skipped["no_lease"] += 1
+            yield self.env.timeout(0.001)
+            return False
+        try:
+            n_items = self._rng.randint(self.workload.min_cart_items,
+                                        self.workload.max_cart_items)
+            added = 0
+            for _ in range(n_items):
+                seller_id, product_id = self.coordinator.sample_product()
+                quantity = self._rng.randint(self.workload.min_quantity,
+                                             self.workload.max_quantity)
+                voucher = 0
+                if self._rng.random() < self.workload.voucher_probability:
+                    voucher = self._rng.randint(
+                        1, self.workload.min_price_cents)
+                key = f"{seller_id}/{product_id}"
+                # Snapshot the acknowledged state *before* the add: only
+                # updates acked before the read started can be required
+                # of it (causal/read-your-writes semantics).
+                acked_version = self.acked_versions.get(key)
+                acked_delete = key in self.acked_deletes
+                started = self.env.now
+                result = yield from self.app.add_item(
+                    customer_id, seller_id, product_id, quantity, voucher)
+                self._record(result, started, record)
+                if result.ok:
+                    added += 1
+                    self._observe_add(result, acked_version, acked_delete)
+            if added == 0:
+                # The add attempts were recorded under add_item, but
+                # no checkout call happened — the checkout row must
+                # get no queue/response sample for this transaction.
+                self.skipped["empty_cart"] += 1
+                return False
+            order_id = f"o{customer_id}-{next(self._order_ids)}"
+            method = self._rng.choice(PaymentMethod.ALL)
+            started = self.env.now
+            result = yield from self.app.checkout(customer_id, order_id,
+                                                  method)
+            self._record(result, started, record)
+            return True
+        finally:
+            self.coordinator.release_customer(customer_id)
+
+    def do_price_update(self, record: bool = True):
+        lease = self.coordinator.lease_product()
+        if lease is None:
+            self.skipped["no_lease"] += 1
+            yield self.env.timeout(0.001)
+            return False
+        _, (seller_id, product_id) = lease
+        try:
+            price = self._rng.randint(self.workload.min_price_cents,
+                                      self.workload.max_price_cents)
+            started = self.env.now
+            result = yield from self.app.update_price(seller_id,
+                                                      product_id, price)
+            self._record(result, started, record)
+            if result.ok:
+                key = f"{seller_id}/{product_id}"
+                self.acked_versions[key] = result.payload["version"]
+            return True
+        finally:
+            self.coordinator.release_product((seller_id, product_id))
+
+    def do_product_delete(self, record: bool = True):
+        lease = self.coordinator.lease_product()
+        if lease is None:
+            self.skipped["no_lease"] += 1
+            yield self.env.timeout(0.001)
+            return False
+        rank, (seller_id, product_id) = lease
+        try:
+            # Rebind the rank to a replacement *before* the app call:
+            # claiming the reserve first closes the race where two
+            # workers both pass a reserve check, both delete, and the
+            # loser leaves a dead product in the sampling population.
+            compensation = self.registry.delete_at(rank)
+            if compensation is None:
+                self.skipped["no_reserve"] += 1
+                return False
+            started = self.env.now
+            result = yield from self.app.delete_product(seller_id,
+                                                        product_id)
+            self._record(result, started, record)
+            if result.ok:
+                key = f"{seller_id}/{product_id}"
+                self.acked_versions[key] = result.payload["version"]
+                self.acked_deletes.add(key)
+            return True
+        finally:
+            self.coordinator.release_product((seller_id, product_id))
+
+    def do_update_delivery(self, record: bool = True):
+        started = self.env.now
+        result = yield from self.app.update_delivery()
+        self._record(result, started, record)
+        return True
+
+    def do_dashboard(self, record: bool = True):
+        seller_id = self._rng.choice(self.dataset.seller_ids)
+        started = self.env.now
+        result = yield from self.app.dashboard(seller_id)
+        self._record(result, started, record)
+        if result.ok:
+            self.observations["dashboards_checked"] += 1
+            if (result.payload["amount_cents"]
+                    != result.payload["entries_total_cents"]):
+                self.observations["dashboard_mismatches"] += 1
+        return True
+
+    def _observe_add(self, result, acked_version: int | None,
+                     acked_delete: bool) -> None:
+        """Check the replicated price against acknowledged updates.
+
+        A successful add whose price version is older than the last
+        update *acknowledged before the add started* — or any
+        successful add of a product whose deletion was acknowledged
+        before the add started — violates the causal (read-your-writes)
+        replication criterion.
+        """
+        self.observations["adds_checked"] += 1
+        stale = (acked_version is not None
+                 and result.payload["price_version"] < acked_version)
+        if stale or acked_delete:
+            self.observations["stale_adds"] += 1

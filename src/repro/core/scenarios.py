@@ -1,0 +1,234 @@
+"""The named scenario suite: declarative open-loop workload shapes.
+
+Each :class:`Scenario` composes a :class:`WorkloadConfig` (scale, skew,
+transaction mix) with an arrival schedule and optional hotspot window
+into one reproducible experiment a single name away::
+
+    python -m repro.cli scenario flash-sale --app orleans-eventual
+
+Scenarios deliberately stress different axes of the four platforms:
+
+``baseline``            steady Poisson traffic well under capacity.
+``flash-sale``          a temporary arrival burst plus a Zipf-skew
+                        spike on a handful of hot products.
+``heavy-writer``        seller-write-dominated mix (price updates and
+                        deletes) at a steady rate.
+``burst-then-quiesce``  a hard burst followed by near-silence, probing
+                        queue drain and recovery.
+``delete-churn``        sustained product deletes with a deep reserve
+                        pool, stressing delete compensation paths.
+``overload-ramp``       arrival rate ramping linearly past capacity to
+                        expose the saturation knee.
+
+Rates are expressed relative to ``base_rate`` so one ``--rate-scale``
+knob moves a whole scenario up or down without changing its shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.driver.arrivals import (
+    ArrivalProcess,
+    ConstantRate,
+    PhasedArrivals,
+    PoissonArrivals,
+    RampArrivals,
+)
+from repro.core.driver.open_loop import (
+    HotspotSpec,
+    OpenLoopConfig,
+    OpenLoopDriver,
+)
+from repro.core.workload.config import TransactionMix, WorkloadConfig
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apps.base import MarketplaceApp
+    from repro.runtime import Environment
+
+#: Scenario workloads share a modest marketplace so CLI runs finish in
+#: seconds; scale axes live in the arrival schedule, not the dataset.
+_SCALE = dict(sellers=6, customers=64, products_per_seller=8)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, declarative open-loop experiment."""
+
+    name: str
+    description: str
+    #: Builds the workload (fresh per run — configs are mutable).
+    workload: typing.Callable[[], WorkloadConfig]
+    #: Builds the arrival schedule from the scaled base rate.
+    arrivals: typing.Callable[[float], ArrivalProcess]
+    #: Nominal arrivals/second the shape is expressed against.
+    base_rate: float = 150.0
+    warmup: float = 1.0
+    duration: float = 5.0
+    drain: float = 2.0
+    max_in_flight: int = 32
+    queue_capacity: int | None = None
+    #: Hotspot window relative to run start, or None.
+    hotspot: typing.Callable[[], HotspotSpec] | None = None
+
+    def build_config(self, rate_scale: float = 1.0,
+                     duration_scale: float = 1.0) -> OpenLoopConfig:
+        """Instantiate the schedule; ``duration_scale`` stretches the
+        whole time axis (window, warm-up, drain, phase/ramp durations
+        and the hotspot window alike) so the scenario's shape — and
+        the drain's headroom for clearing the end-of-window backlog —
+        is preserved at any scale."""
+        if rate_scale <= 0 or duration_scale <= 0:
+            raise ValueError("scales must be > 0")
+        arrivals = self.arrivals(self.base_rate)
+        if rate_scale != 1.0:
+            arrivals = arrivals.scaled(rate_scale)
+        if duration_scale != 1.0:
+            arrivals = arrivals.time_scaled(duration_scale)
+        hotspot = self.hotspot() if self.hotspot else None
+        if hotspot is not None and duration_scale != 1.0:
+            hotspot = HotspotSpec(
+                start=hotspot.start * duration_scale,
+                end=hotspot.end * duration_scale,
+                top_ranks=hotspot.top_ranks,
+                probability=hotspot.probability)
+        return OpenLoopConfig(
+            arrivals=arrivals,
+            warmup=self.warmup * duration_scale,
+            duration=self.duration * duration_scale,
+            drain=self.drain * duration_scale,
+            max_in_flight=self.max_in_flight,
+            queue_capacity=self.queue_capacity,
+            hotspot=hotspot)
+
+    def build_driver(self, env: "Environment", app: "MarketplaceApp",
+                     rate_scale: float = 1.0,
+                     duration_scale: float = 1.0,
+                     data_seed: int = 0) -> OpenLoopDriver:
+        return OpenLoopDriver(
+            env, app, self.workload(),
+            self.build_config(rate_scale, duration_scale),
+            data_seed=data_seed)
+
+
+def _default_workload(**overrides) -> typing.Callable[[], WorkloadConfig]:
+    def build() -> WorkloadConfig:
+        return WorkloadConfig(**{**_SCALE, **overrides})
+    return build
+
+
+def _flash_sale_arrivals(rate: float) -> PhasedArrivals:
+    # calm -> 4x spike -> calm; the spike lines up with the hotspot.
+    return PhasedArrivals([
+        (2.0, PoissonArrivals(rate)),
+        (2.0, PoissonArrivals(rate * 4.0)),
+        (2.0, PoissonArrivals(rate)),
+    ])
+
+
+def _burst_quiesce_arrivals(rate: float) -> PhasedArrivals:
+    return PhasedArrivals([
+        (1.5, PoissonArrivals(rate * 5.0)),
+        (4.5, PoissonArrivals(rate * 0.1)),
+    ])
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    SCENARIOS[scenario.name] = scenario
+
+
+_register(Scenario(
+    name="baseline",
+    description="Steady Poisson arrivals well under capacity; the "
+                "reference point the stress scenarios compare against.",
+    workload=_default_workload(),
+    arrivals=PoissonArrivals,
+))
+
+_register(Scenario(
+    name="flash-sale",
+    description="A 2-second arrival burst at 4x the base rate while "
+                "product popularity spikes onto the top three ranks — "
+                "the classic hotspot that separates lock-based, "
+                "dataflow and eventual designs.",
+    workload=_default_workload(zipf_s=1.0),
+    arrivals=_flash_sale_arrivals,
+    duration=6.0,
+    warmup=0.5,
+    # Small enough that the 4x spike outruns the pool and queues.
+    max_in_flight=6,
+    # The arrival schedule starts at run start (warm-up included), so
+    # the 4x phase covers sim-seconds [2.0, 4.0); the hotspot window
+    # matches it exactly.
+    hotspot=lambda: HotspotSpec(start=2.0, end=4.0, top_ranks=3,
+                                probability=0.7),
+))
+
+_register(Scenario(
+    name="heavy-writer",
+    description="Seller-write-dominated mix: price updates and deletes "
+                "outweigh checkouts, stressing replication fan-out and "
+                "write contention.",
+    workload=_default_workload(mix=TransactionMix(
+        checkout=30.0, price_update=40.0, product_delete=8.0,
+        update_delivery=7.0, dashboard=15.0)),
+    arrivals=ConstantRate,
+    base_rate=120.0,
+))
+
+_register(Scenario(
+    name="burst-then-quiesce",
+    description="A hard 5x burst followed by near-silence: probes how "
+                "deep the queue gets and how fast it drains once load "
+                "drops.",
+    workload=_default_workload(),
+    arrivals=_burst_quiesce_arrivals,
+    duration=6.0,
+    warmup=0.5,
+    max_in_flight=6,
+))
+
+_register(Scenario(
+    name="delete-churn",
+    description="Sustained product deletes backed by a deep reserve "
+                "pool: exercises delete compensation and tombstone "
+                "handling without distorting the key distribution.",
+    workload=_default_workload(
+        reserve_fraction=2.0,
+        mix=TransactionMix(checkout=45.0, price_update=10.0,
+                           product_delete=25.0, update_delivery=5.0,
+                           dashboard=15.0)),
+    arrivals=PoissonArrivals,
+    base_rate=100.0,
+))
+
+_register(Scenario(
+    name="overload-ramp",
+    description="Arrival rate ramping linearly from 0.5x to 5x the "
+                "base rate: the queueing-delay curve locates the "
+                "saturation knee.",
+    workload=_default_workload(),
+    arrivals=lambda rate: RampArrivals(rate * 0.5, rate * 5.0,
+                                       ramp_duration=6.0),
+    duration=6.0,
+    drain=3.0,
+    # Deliberately tiny: the ramp must cross the pool's capacity.
+    max_in_flight=4,
+))
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"known: {known}") from None

@@ -53,6 +53,54 @@ class ZipfSampler:
         return self._cdf[rank] - self._cdf[rank - 1]
 
 
+class HotspotSampler:
+    """A toggleable hot-key overlay on a base rank sampler.
+
+    While a hotspot is armed, each draw routes to one of the designated
+    hot ranks with the configured probability and falls through to the
+    base (Zipfian) sampler otherwise — the temporary skew spike of a
+    flash sale.  Scenario controllers arm and clear the hotspot at
+    phase boundaries; with no hotspot armed the overlay is transparent.
+    """
+
+    def __init__(self, base: ZipfSampler, rng: random.Random) -> None:
+        self.base = base
+        self._rng = rng
+        self._hot_ranks: list[int] = []
+        self._probability = 0.0
+        self.hot_draws = 0
+
+    @property
+    def n(self) -> int:
+        return self.base.n
+
+    @property
+    def active(self) -> bool:
+        return bool(self._hot_ranks)
+
+    def set_hotspot(self, ranks: typing.Sequence[int],
+                    probability: float) -> None:
+        if not ranks:
+            raise ValueError("need at least one hot rank")
+        if not 0 < probability <= 1:
+            raise ValueError("probability must be in (0, 1]")
+        for rank in ranks:
+            if not 0 <= rank < self.base.n:
+                raise ValueError(f"rank {rank} out of range")
+        self._hot_ranks = list(ranks)
+        self._probability = probability
+
+    def clear_hotspot(self) -> None:
+        self._hot_ranks = []
+        self._probability = 0.0
+
+    def sample(self) -> int:
+        if self._hot_ranks and self._rng.random() < self._probability:
+            self.hot_draws += 1
+            return self._rng.choice(self._hot_ranks)
+        return self.base.sample()
+
+
 class ProductKeyRegistry:
     """Stable popularity ranks over a mutable product population.
 

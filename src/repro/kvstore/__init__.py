@@ -7,8 +7,8 @@ sessions (version vectors) let carts read product data without going
 backwards in causal time.
 """
 
+from repro.kvstore.replication import CausalSession, Replica, ReplicatedKV
 from repro.kvstore.store import KVStore, Versioned
-from repro.kvstore.replication import CausalSession, ReplicatedKV, Replica
 from repro.kvstore.versionclock import VersionVector
 
 __all__ = [

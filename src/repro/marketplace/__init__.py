@@ -9,6 +9,7 @@ transactional / Statefun / customized) share one implementation of the
 business rules and differ only in data management semantics.
 """
 
+from repro.marketplace import events, logic
 from repro.marketplace.constants import (
     OrderStatus,
     PackageStatus,
@@ -24,8 +25,6 @@ from repro.marketplace.entities import (
     StockItem,
     product_key,
 )
-from repro.marketplace import events
-from repro.marketplace import logic
 
 __all__ = [
     "CartItem",

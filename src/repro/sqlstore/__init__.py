@@ -14,7 +14,6 @@ from repro.sqlstore.engine import (
     Snapshot,
     Transaction,
 )
-from repro.sqlstore.table import Row, Table, UniqueViolation
 from repro.sqlstore.query import (
     Predicate,
     and_,
@@ -27,6 +26,7 @@ from repro.sqlstore.query import (
     not_,
     or_,
 )
+from repro.sqlstore.table import Row, Table, UniqueViolation
 
 __all__ = [
     "MVCCEngine",

@@ -10,10 +10,10 @@ transactions eventually win).
 """
 
 from repro.txn.context import TransactionContext, TransactionStatus
+from repro.txn.coordinator import TransactionRunner, TxnConfig, TxnStats
 from repro.txn.errors import TransactionAborted, TransactionError
 from repro.txn.locks import LockManager, LockMode
-from repro.txn.participant import TransactionParticipant, TransactionalGrain
-from repro.txn.coordinator import TransactionRunner, TxnConfig, TxnStats
+from repro.txn.participant import TransactionalGrain, TransactionParticipant
 
 __all__ = [
     "LockManager",

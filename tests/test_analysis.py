@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import AnomalyReport, describe, mean, percentile
 from repro.analysis.stats import percentiles
-from repro.core.driver.metrics import LatencyRecorder, OpStats, RunMetrics
+from repro.core.driver.metrics import LatencyRecorder, RunMetrics
 
 
 class TestStats:
@@ -165,7 +165,9 @@ class TestCriteriaReport:
 
 class TestReportRendering:
     def make_metrics(self):
-        recorder = LatencyRecorder()
+        # Raw-sample mode: the rendering assertions below expect exact
+        # interpolated percentiles rather than histogram buckets.
+        recorder = LatencyRecorder(raw_samples=True)
         recorder.enabled = True
         recorder.record("checkout", "ok", 0.004)
         recorder.record("checkout", "ok", 0.006)
@@ -215,6 +217,41 @@ class TestReportRendering:
         checkout = rows[0]
         assert checkout["ok"] == 2
         assert checkout["p50_ms"] == 5.0
+
+    def test_metrics_rows_include_queue_columns_when_present(self):
+        from repro.analysis import metrics_rows
+        recorder = LatencyRecorder()
+        recorder.enabled = True
+        recorder.record("checkout", "ok", 0.004)
+        recorder.record_queue_delay("checkout", 0.2)
+        metrics = RunMetrics.from_recorder("app", 2, 1.0, recorder)
+        row = metrics_rows(metrics)[0]
+        assert row["queue_p50_ms"] == 200.0
+        assert row["queue_p99_ms"] == 200.0
+
+    def test_timeline_rows(self):
+        from repro.analysis import timeline_rows
+        recorder = LatencyRecorder()
+        recorder.enabled = True
+        recorder.record("checkout", "ok", 0.004, at=1.5)
+        recorder.record("checkout", "ok", 0.004, at=1.7)
+        recorder.record("checkout", "ok", 0.004, at=3.2)
+        metrics = RunMetrics.from_recorder("app", 2, 1.0, recorder)
+        rows = timeline_rows(metrics)
+        assert rows == [
+            {"app": "app", "second": 1, "committed": 2},
+            {"app": "app", "second": 3, "committed": 1},
+        ]
+        assert metrics.peak_rate == 2.0
+
+    def test_saturation_second(self):
+        from repro.analysis import saturation_second
+        metrics = RunMetrics("app", 1, 1.0, ops={},
+                             timeline=[(0, 10), (1, 50), (2, 100),
+                                       (3, 101), (4, 99)])
+        assert saturation_second(metrics) == 2
+        empty = RunMetrics("app", 1, 1.0, ops={})
+        assert saturation_second(empty) is None
 
     def test_experiment_report_sections(self):
         from repro.analysis import experiment_report

@@ -76,3 +76,38 @@ class TestCompareCommand:
                      "statefun", "customized-orleans"):
             assert name in output
         assert "criteria matrix" in output
+
+
+class TestScenarioCommand:
+    def test_list_prints_catalogue(self):
+        stream = io.StringIO()
+        code = main(["scenario", "--list"], stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        for name in ("baseline", "flash-sale", "overload-ramp"):
+            assert name in output
+
+    def test_bare_scenario_defaults_to_catalogue(self):
+        stream = io.StringIO()
+        assert main(["scenario"], stream=stream) == 0
+        assert "available scenarios" in stream.getvalue()
+
+    def test_unknown_scenario_rejected(self):
+        stream = io.StringIO()
+        code = main(["scenario", "mystery"], stream=stream)
+        assert code == 2
+        assert "unknown scenario" in stream.getvalue()
+
+    def test_scenario_run_reports_queueing_separately(self):
+        stream = io.StringIO()
+        code = main(["scenario", "flash-sale",
+                     "--app", "orleans-eventual",
+                     "--rate-scale", "0.4", "--duration-scale", "0.4",
+                     "--silos", "1", "--cores", "2"], stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "service latency vs queueing delay" in output
+        assert "queue p99" in output
+        assert "offered rate" in output
+        assert "throughput timeline" in output
+        assert "C1-atomicity" in output

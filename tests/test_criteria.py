@@ -1,7 +1,5 @@
 """Unit tests for the criteria auditors over synthetic state views."""
 
-import pytest
-
 from repro.core.criteria import (
     CRITERIA,
     _audit_atomicity,

@@ -1,7 +1,5 @@
 """Focused unit tests on individual grain behaviours (eventual app)."""
 
-import pytest
-
 from repro.actors import Cluster, ClusterConfig
 from repro.apps import grains_eventual as grains
 from repro.apps.base import AppConfig

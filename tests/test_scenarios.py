@@ -1,0 +1,91 @@
+"""Smoke tests for the named scenario suite (driven against the stub
+app for speed; the bench suite exercises them on the real platforms)."""
+
+import pytest
+
+from _stub_app import StubApp
+from repro.core.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.runtime import Environment
+
+EXPECTED = {"baseline", "flash-sale", "heavy-writer",
+            "burst-then-quiesce", "delete-churn", "overload-ramp"}
+
+
+class TestRegistry:
+    def test_catalogue_contents(self):
+        assert set(scenario_names()) == EXPECTED
+        assert set(SCENARIOS) == EXPECTED
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_descriptions_present(self):
+        for name in scenario_names():
+            assert len(get_scenario(name).description) > 20
+
+    def test_build_config_rejects_bad_scales(self):
+        scenario = get_scenario("baseline")
+        with pytest.raises(ValueError):
+            scenario.build_config(rate_scale=0.0)
+        with pytest.raises(ValueError):
+            scenario.build_config(duration_scale=-1.0)
+
+    def test_workload_factory_returns_fresh_configs(self):
+        scenario = get_scenario("baseline")
+        assert scenario.workload() is not scenario.workload()
+
+
+def run_scenario(name, seed=3, rate_scale=0.5, duration_scale=0.5):
+    scenario = get_scenario(name)
+    env = Environment(seed=seed)
+    app = StubApp(env)
+    driver = scenario.build_driver(env, app, rate_scale=rate_scale,
+                                   duration_scale=duration_scale,
+                                   data_seed=seed)
+    return driver.run(), driver, app
+
+
+class TestScenarioSmoke:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_runs_end_to_end(self, name):
+        metrics, driver, app = run_scenario(name)
+        stats = metrics.open_loop
+        assert stats["arrivals"] > 0
+        assert stats["dispatched"] + stats["shed"] == stats["arrivals"]
+        assert stats["completed"] > 0
+        assert metrics.total_throughput > 0
+        # Every dispatched business transaction records queueing delay
+        # separately from service latency.
+        assert metrics.ops["checkout"].queue_delay is not None
+        assert metrics.timeline
+
+    def test_flash_sale_hotspot_fires(self):
+        metrics, driver, app = run_scenario("flash-sale")
+        assert driver.sampler.hot_draws > 0
+        assert not driver.sampler.active  # cleared after the window
+
+    def test_heavy_writer_mix_dominates(self):
+        metrics, driver, app = run_scenario("heavy-writer")
+        writes = app.calls["update_price"] + app.calls["delete_product"]
+        assert writes > app.calls["checkout"]
+
+    def test_delete_churn_exercises_compensation(self):
+        metrics, driver, app = run_scenario("delete-churn",
+                                            duration_scale=1.0)
+        assert driver.registry.deletes > 0
+        for seller_id, product_id in driver.registry.live_products():
+            assert f"{seller_id}/{product_id}" not in app.deleted
+
+    def test_overload_ramp_builds_queue(self):
+        metrics, driver, app = run_scenario("overload-ramp",
+                                            rate_scale=1.0,
+                                            duration_scale=1.0)
+        baseline, _, _ = run_scenario("baseline", rate_scale=1.0,
+                                      duration_scale=1.0)
+        assert metrics.open_loop["max_queue"] > \
+            baseline.open_loop["max_queue"]
+
+    def test_burst_then_quiesce_drains(self):
+        metrics, driver, app = run_scenario("burst-then-quiesce")
+        assert metrics.open_loop["final_queue"] == 0

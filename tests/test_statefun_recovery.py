@@ -1,7 +1,5 @@
 """Integration tests: exactly-once recovery of the Statefun app."""
 
-import pytest
-
 from repro.apps import AppConfig, StatefunApp
 from repro.core import WorkloadConfig, generate_dataset
 from repro.dataflow import StatefunConfig
@@ -109,7 +107,7 @@ def test_stock_never_double_decremented_by_replay():
 
 def test_crash_during_quiet_period_is_harmless():
     env, app = make_app()
-    completed = run_shoppers(env, app, 8)
+    run_shoppers(env, app, 8)
 
     def late_crash():
         yield from app.runtime.inject_failure()

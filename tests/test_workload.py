@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.workload import (
-    Dataset,
     InputCoordinator,
     ProductKeyRegistry,
     TransactionMix,
