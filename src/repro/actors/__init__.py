@@ -6,13 +6,23 @@ message at a time (turn-based concurrency), and may persist state via a
 grain-storage provider.  The runtime models network latency between
 silos and CPU service time on each silo's cores, which is what produces
 realistic saturation behaviour in the benchmark results.
+
+Cluster membership is dynamic: silos can join (``Cluster.add_silo``),
+retire gracefully (``Cluster.drain_silo``) or fail-stop
+(``Cluster.crash_silo``) at runtime, with grain activations migrating
+to the surviving owners and routing re-placing in-flight messages.
 """
 
-from repro.actors.cluster import Cluster, ClusterConfig
-from repro.actors.errors import GrainCallError, GrainError
+from repro.actors.cluster import Cluster, ClusterConfig, MembershipStats
+from repro.actors.errors import (
+    GrainCallError,
+    GrainError,
+    NoLiveSilos,
+    SiloUnavailable,
+)
 from repro.actors.grain import Grain, GrainRef
-from repro.actors.placement import ConsistentHashPlacement
-from repro.actors.silo import Silo
+from repro.actors.placement import ConsistentHashPlacement, GrainDirectory
+from repro.actors.silo import Silo, SiloState
 from repro.actors.storage import GrainStorage, MemoryGrainStorage
 
 __all__ = [
@@ -21,9 +31,14 @@ __all__ = [
     "ConsistentHashPlacement",
     "Grain",
     "GrainCallError",
+    "GrainDirectory",
     "GrainError",
     "GrainRef",
     "GrainStorage",
+    "MembershipStats",
     "MemoryGrainStorage",
+    "NoLiveSilos",
     "Silo",
+    "SiloState",
+    "SiloUnavailable",
 ]

@@ -1,14 +1,37 @@
-"""The cluster: silos, placement, routing and grain references."""
+"""The cluster: silos, placement, routing and grain references.
+
+Membership is dynamic.  :meth:`Cluster.add_silo` grows the cluster at
+runtime (existing grains whose placement moved are handed off to the
+new owner), :meth:`Cluster.drain_silo` retires a silo gracefully
+(storage-backed state persisted, activations deactivated, placement
+updated first so no new work arrives) and :meth:`Cluster.crash_silo`
+fail-stops one: queued messages are re-placed onto surviving silos,
+mid-execution calls fail with ``SiloUnavailable`` and volatile grain
+state is discarded — the next activation re-reads storage or, for
+non-persistent grains, starts empty (counted as a state-loss anomaly).
+
+Routing tolerates membership churn: every message snapshots the
+placement epoch when it is sent; if the ring changed while the message
+was on the wire, or the target silo died, delivery re-places the
+message (paying another network hop) up to a bounded number of
+attempts before failing the caller's promise.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import typing
 
-from repro.actors.errors import MessageDropped, UnknownGrainType
+from repro.actors.errors import (
+    MessageDropped,
+    NoLiveSilos,
+    SiloUnavailable,
+    UnknownGrainType,
+)
 from repro.actors.grain import Grain, GrainRef
-from repro.actors.placement import ConsistentHashPlacement
-from repro.actors.silo import Message, Silo
+from repro.actors.placement import ConsistentHashPlacement, GrainDirectory
+from repro.actors.silo import Message, Silo, SiloState
 from repro.actors.storage import GrainStorage, MemoryGrainStorage
 from repro.broker import Broker
 
@@ -32,6 +55,44 @@ class ClusterConfig:
     remote_latency: float = 0.0004
     remote_jitter: float = 0.0002
     drop_probability: float = 0.0
+    #: Delivery attempts per message before the caller sees
+    #: ``SiloUnavailable`` (first send + rerouting hops).
+    max_delivery_attempts: int = 4
+    #: Poll interval of drain/migration sweeps waiting for activations
+    #: to go quiet.
+    handoff_poll: float = 0.001
+    #: Time between a silo crash and the membership view evicting it
+    #: (Orleans-style failure detection).  Until eviction the ring
+    #: still routes to the dead silo and callers see unavailability —
+    #: the outage window the fault scenarios measure.  Drains are
+    #: coordinated and skip this; 0 evicts crashes instantly too.
+    failure_detection_delay: float = 1.0
+
+
+@dataclasses.dataclass
+class MembershipStats:
+    """Counters for membership churn and its fallout."""
+
+    joins: int = 0
+    drains: int = 0
+    crashes: int = 0
+    #: Activations handed off (drain or post-join rebalance).
+    migrations: int = 0
+    #: Messages re-placed after a stale ring or dead target.
+    reroutes: int = 0
+    #: Calls failed with SiloUnavailable (crash mid-execution, retry
+    #: budget exhausted, or an empty ring).
+    unavailable_failures: int = 0
+    #: Non-persistent activations whose state was destroyed: discarded
+    #: by a crash, or orphaned by a handoff with no surviving owner
+    #: (the measurable anomaly of the fault scenarios).
+    state_loss_events: int = 0
+    #: Non-persistent activations live-migrated with their in-memory
+    #: state intact (drain or post-join rebalancing).
+    volatile_handoffs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
 
 
 class Cluster:
@@ -44,11 +105,11 @@ class Cluster:
         self.config = config or ClusterConfig()
         self.broker = broker or Broker(env)
         self.placement = ConsistentHashPlacement()
+        self.directory = GrainDirectory()
         self.silos: list[Silo] = []
-        for index in range(self.config.silos):
-            silo = Silo(env, f"silo-{index}", self.config.cores_per_silo)
-            self.silos.append(silo)
-            self.placement.add_silo(silo)
+        self._silo_ids = 0
+        for _ in range(self.config.silos):
+            self._new_silo()
         self._storages: dict[str, GrainStorage] = {
             "default": MemoryGrainStorage(env, "default")}
         self._grain_types: dict[str, type[Grain]] = {}
@@ -56,6 +117,9 @@ class Cluster:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.collections = 0
+        self.membership = MembershipStats()
+        #: Timeline of membership events: (time, event, silo name).
+        self.membership_log: list[tuple[float, str, str]] = []
 
     # ------------------------------------------------------------------
     # registries
@@ -75,6 +139,217 @@ class Cluster:
         return storage
 
     # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def live_silos(self) -> list[Silo]:
+        return [silo for silo in self.silos if silo.alive]
+
+    def silo_named(self, name: str) -> Silo:
+        for silo in self.silos:
+            if silo.name == name:
+                return silo
+        raise KeyError(f"no silo named {name!r}")
+
+    def _resolve_silo(self, silo: Silo | str) -> Silo:
+        return self.silo_named(silo) if isinstance(silo, str) else silo
+
+    def _new_silo(self, name: str | None = None) -> Silo:
+        silo = Silo(self.env, name or f"silo-{self._silo_ids}",
+                    self.config.cores_per_silo)
+        self._silo_ids += 1
+        silo.directory = self.directory
+        self.silos.append(silo)
+        self.placement.add_silo(silo)
+        return silo
+
+    def _log_membership(self, event: str, silo: Silo) -> None:
+        self.membership_log.append((self.env.now, event, silo.name))
+
+    def add_silo(self, name: str | None = None) -> Silo:
+        """Join a new silo to the cluster (scale-out).
+
+        The placement ring is updated immediately, so new calls route
+        to the new silo at once; activations the ring reassigned are
+        handed off in the background (storage-backed state persisted,
+        then deactivated so the next call re-activates on the new
+        owner).
+        """
+        silo = self._new_silo(name)
+        self.membership.joins += 1
+        self._log_membership("join", silo)
+        self.env.process(self._rebalance_for(silo),
+                         name=f"rebalance:{silo.name}")
+        return silo
+
+    def drain_silo(self, silo: Silo | str) -> "Event":
+        """Gracefully retire a silo (scale-in / rolling restart).
+
+        Returns the drain process: it completes when every activation
+        has finished its queued work and been deactivated (persisting
+        storage-backed state), leaving the silo ``stopped``.
+        """
+        silo = self._resolve_silo(silo)
+        if not silo.alive:
+            raise SiloUnavailable(f"{silo.name} is already {silo.state}")
+        silo.state = SiloState.DRAINING
+        self.placement.remove_silo(silo)
+        self.membership.drains += 1
+        self._log_membership("drain", silo)
+        return self.env.process(self._drain(silo),
+                                name=f"drain:{silo.name}")
+
+    def crash_silo(self, silo: Silo | str) -> Silo:
+        """Fail-stop a silo, discarding all volatile state.
+
+        The silo stops processing immediately: mid-execution calls fail
+        with ``SiloUnavailable`` and non-persistent activations lose
+        their state (counted in ``membership.state_loss_events``).  The
+        membership view only evicts the silo after
+        ``failure_detection_delay``; until then the ring keeps routing
+        to it and callers see unavailability — the outage window.  At
+        eviction, messages that were queued (never started, so no
+        side effects) are re-placed onto the surviving owners.
+        """
+        silo = self._resolve_silo(silo)
+        if not silo.alive:
+            raise SiloUnavailable(f"{silo.name} is already {silo.state}")
+        queued, discarded = silo.crash()
+        self.membership.crashes += 1
+        for activation in discarded:
+            if activation.grain.storage_name is None:
+                self.membership.state_loss_events += 1
+            if activation.inflight:
+                self.membership.unavailable_failures += \
+                    len(activation.inflight)
+        self._log_membership("crash", silo)
+        if self.config.failure_detection_delay > 0:
+            self.env.process(self._evict_after_detection(silo, queued),
+                             name=f"detect:{silo.name}")
+        else:
+            self._evict(silo, queued)
+        return silo
+
+    def _evict_after_detection(self, silo: Silo, queued: list[Message]):
+        yield self.env.timeout(self.config.failure_detection_delay)
+        self._evict(silo, queued)
+
+    def _evict(self, silo: Silo, queued: list[Message]) -> None:
+        """Remove a crashed silo from the membership view and re-place
+        the work that died queued on it."""
+        if silo in self.placement.silos:
+            self.placement.remove_silo(silo)
+        self._log_membership("evicted", silo)
+        for message in queued:
+            if message.ref is None:
+                # Activation-local timer tick: dies with its grain.
+                if not message.promise.triggered:
+                    message.promise.fail(SiloUnavailable(
+                        f"{silo.name} crashed"))
+                continue
+            if message.promise.triggered:
+                continue  # the caller already saw a failure
+            message.attempts += 1
+            self.membership.reroutes += 1
+            self._route(typing.cast(GrainRef, message.ref), message,
+                        caller_silo=None)
+
+    def _drain(self, silo: Silo):
+        """Hand off every activation, then mark the silo stopped."""
+        while silo.activations:
+            progressed = False
+            for activation in list(silo.activations.values()):
+                if activation.mailbox or activation.busy:
+                    continue
+                yield from self._handoff(silo, activation)
+                progressed = True
+            if silo.activations and not progressed:
+                yield self.env.timeout(self.config.handoff_poll)
+        silo.state = SiloState.STOPPED
+        self._log_membership("stopped", silo)
+
+    def _rebalance_for(self, new_silo: Silo):
+        """Hand off activations the ring reassigned to ``new_silo``.
+
+        Routing pins existing activations to their directory entry, so
+        until a grain is handed off its traffic keeps flowing to the
+        old owner — migration never races message delivery.  Patience
+        per grain is bounded: a grain that refuses to go quiet simply
+        stays pinned where it is (suboptimal placement, not an error).
+        """
+        for silo in self.silos:
+            if silo is new_silo or not silo.alive:
+                continue
+            moved = [activation
+                     for (type_name, key), activation
+                     in silo.activations.items()
+                     if self._owner_of(type_name, key) is new_silo]
+            for activation in moved:
+                for _ in range(50):
+                    if (activation.collected or not silo.alive
+                            or not new_silo.accepting_activations):
+                        break
+                    if activation.mailbox or activation.busy:
+                        yield self.env.timeout(self.config.handoff_poll)
+                        continue
+                    yield from self._handoff(silo, activation)
+
+    def _handoff(self, silo: Silo, activation) -> typing.Generator:
+        """Move one quiet activation off ``silo``.
+
+        Storage-backed grains persist and deactivate — the next call
+        re-activates from storage on the new owner (the authoritative
+        copy).  Volatile grains are *live-migrated*: the grain object
+        moves to the new owner with its in-memory state, paying one
+        state-transfer hop; only when no live owner exists is the
+        state genuinely lost.
+        """
+        if activation.collected:
+            return
+        grain = activation.grain
+        if grain.storage_name is not None:
+            done = yield from self._deactivate(silo, activation)
+            if done:
+                self.membership.migrations += 1
+            return
+        type_name = type(grain).__name__
+        target = self._owner_of(type_name, grain.key)
+        if target is None or target is silo or not \
+                target.accepting_activations:
+            done = yield from self._deactivate(silo, activation)
+            if done:
+                self.membership.state_loss_events += 1
+            return
+        # One network hop for the state transfer, then an atomic (in
+        # simulated time) deactivate-and-adopt so no message can land
+        # between the two owners.
+        yield self.env.timeout(self.config.remote_latency)
+        if (activation.collected or activation.mailbox or activation.busy
+                or not target.accepting_activations):
+            # The grain got busy — or the target itself crashed or
+            # started draining — while the transfer was in flight.
+            # Leave the activation in place: the caller's sweep
+            # retries and recomputes the owner.
+            return
+        silo.deactivate(type_name, grain.key)
+        target.adopt(self, grain)
+        self.membership.migrations += 1
+        self.membership.volatile_handoffs += 1
+
+    def _owner_of(self, type_name: str, key: str) -> Silo | None:
+        try:
+            return self.placement.place(type_name, key)
+        except NoLiveSilos:
+            return None
+
+    def membership_stats(self) -> dict:
+        """Membership counters plus the current cluster shape."""
+        return dict(self.membership.as_dict(),
+                    epoch=self.placement.epoch,
+                    live_silos=len(self.live_silos),
+                    total_silos=len(self.silos))
+
+    # ------------------------------------------------------------------
     # references and routing
     # ------------------------------------------------------------------
     def grain_ref(self, grain_type: type[Grain] | str,
@@ -87,11 +362,21 @@ class Cluster:
         return GrainRef(self, grain_type, key)
 
     def silo_for(self, ref: GrainRef) -> Silo:
+        """The ring owner of ``ref`` (where a *new* activation goes)."""
+        return self.placement.place(ref.type_name, ref.key)
+
+    def _target_for(self, ref: GrainRef) -> Silo:
+        """Where to route a message: the directory pins routing to the
+        live activation (Orleans grain-directory semantics); the ring
+        decides only for grains without one.  May raise NoLiveSilos."""
+        entry = self.directory.lookup(ref.type_name, ref.key)
+        if entry is not None and entry.silo.alive:
+            return entry.silo
         return self.placement.place(ref.type_name, ref.key)
 
     def activation_of(self, ref: GrainRef):
         """The live activation behind ``ref`` (creating it if needed)."""
-        silo = self.silo_for(ref)
+        silo = self._target_for(ref)
         return silo.activation_for(self, ref.grain_type, ref.key)
 
     def grain_instance(self, ref: GrainRef) -> Grain:
@@ -109,28 +394,87 @@ class Cluster:
                  caller_silo: Silo | None = None) -> "Event":
         """Route a grain call; returns the promise for its result."""
         promise = self.env.event()
-        target = self.silo_for(ref)
+        message = Message(method=method, args=args, kwargs=kwargs,
+                          promise=promise, txn=txn, reply_latency=0.0,
+                          ref=ref, attempts=1)
+        self._route(ref, message, caller_silo)
+        return promise
+
+    def _route(self, ref: GrainRef, message: Message,
+               caller_silo: Silo | None) -> None:
+        """Send (or re-send) ``message`` toward the grain's owner.
+
+        Failures never escape as exceptions: an empty ring or an
+        exhausted retry budget fails the message's promise, so the
+        caller observes a failed call, not a crashed driver.
+        """
+        try:
+            target = self._target_for(ref)
+        except NoLiveSilos as error:
+            self.membership.unavailable_failures += 1
+            self._fail_after(message,
+                             self.config.remote_latency, error)
+            return
         latency = self._latency(caller_silo, target)
         self.messages_sent += 1
         if (self.config.drop_probability > 0.0
                 and self._rng.random() < self.config.drop_probability):
             self.messages_dropped += 1
             failure = MessageDropped(
-                f"{ref.type_name}/{ref.key}.{method} lost in transit")
-            def fail_later():
-                yield self.env.timeout(latency)
-                promise.fail(failure)
-            self.env.process(fail_later(), name="drop")
-            return promise
-        message = Message(method=method, args=args, kwargs=kwargs,
-                          promise=promise, txn=txn, reply_latency=latency)
+                f"{ref.type_name}/{ref.key}.{message.method} "
+                f"lost in transit")
+            self._fail_after(message, latency, failure)
+            return
+        message.reply_latency = latency
+
         def deliver():
             yield self.env.timeout(latency)
+            self._deliver(ref, message, target)
+
+        self.env.process(deliver(),
+                         name=f"send:{ref.type_name}.{message.method}")
+
+    def _deliver(self, ref: GrainRef, message: Message,
+                 target: Silo) -> None:
+        """Hand the message to ``target`` — or re-place it if the
+        cluster moved underneath the send."""
+        ident = (ref.type_name, ref.key)
+        hosted = ident in target.activations
+        # Re-derive the route on arrival: the grain may have migrated
+        # (directory moved) or the target may have died/drained while
+        # the message was on the wire.
+        stale = False
+        if not hosted:
+            try:
+                stale = self._target_for(ref) is not target
+            except NoLiveSilos:
+                stale = True
+        if target.alive and not stale and (
+                hosted or target.accepting_activations):
             target.messages_received += 1
-            activation = target.activation_for(self, ref.grain_type, ref.key)
+            activation = target.activation_for(self, ref.grain_type,
+                                               ref.key)
             activation.enqueue(message)
-        self.env.process(deliver(), name=f"send:{ref.type_name}.{method}")
-        return promise
+            return
+        # Dead, draining-without-activation, or stale target: re-place.
+        if message.attempts >= self.config.max_delivery_attempts:
+            self.membership.unavailable_failures += 1
+            if not message.promise.triggered:
+                message.promise.fail(SiloUnavailable(
+                    f"{ref.type_name}/{ref.key}.{message.method} "
+                    f"undeliverable after {message.attempts} attempts"))
+            return
+        message.attempts += 1
+        self.membership.reroutes += 1
+        self._route(ref, message, caller_silo=None)
+
+    def _fail_after(self, message: Message, delay: float,
+                    error: BaseException) -> None:
+        def fail_later():
+            yield self.env.timeout(delay)
+            if not message.promise.triggered:
+                message.promise.fail(error)
+        self.env.process(fail_later(), name="fail")
 
     def track_oneway(self, promise: "Event") -> None:
         """Silence failures of fire-and-forget calls (they are 'lost')."""
@@ -160,21 +504,42 @@ class Cluster:
         while True:
             yield self.env.timeout(sweep_interval)
             for silo in self.silos:
+                if silo.state != SiloState.RUNNING:
+                    continue  # draining silos hand off their own grains
                 for activation in silo.idle_activations(max_age):
                     yield from self._collect(silo, activation)
 
     def _collect(self, silo: Silo, activation) -> typing.Generator:
+        done = yield from self._deactivate(silo, activation)
+        if done:
+            self.collections += 1
+
+    def _deactivate(self, silo: Silo, activation) -> typing.Generator:
+        """Run deactivation hooks, persist storage-backed state and
+        drop the activation (shared by idle collection, drain and
+        post-join rebalancing).  Returns True when the activation was
+        actually dropped: a message that slips into the mailbox while
+        the hooks/persist yield aborts the deactivation (it would be
+        processed by a dead worker and its writes silently lost), and
+        the caller's sweep simply retries once the grain is quiet —
+        re-persisting, but never re-running ``on_deactivate``.
+        """
+        if activation.collected:
+            return False
         grain = activation.grain
-        import inspect as _inspect
-        hook = grain.on_deactivate()
-        if _inspect.isgenerator(hook):
-            yield from hook
+        if not activation.deactivate_hook_ran:
+            hook = grain.on_deactivate()
+            if inspect.isgenerator(hook):
+                yield from hook
+            activation.deactivate_hook_ran = True
         if grain.storage_name is not None:
             storage = self.storage(grain.storage_name)
             yield from storage.write(type(grain).__name__, grain.key,
                                      dict(grain.state))
+        if activation.collected or activation.mailbox or activation.busy:
+            return False  # changed under the hooks; retried later
         silo.deactivate(type(grain).__name__, grain.key)
-        self.collections += 1
+        return True
 
     # ------------------------------------------------------------------
     # introspection

@@ -15,5 +15,19 @@ class MessageDropped(GrainCallError):
     """The message was lost by the (injected-faulty) network."""
 
 
+class SiloUnavailable(GrainCallError):
+    """The hosting silo crashed or stopped while the call was pending.
+
+    Raised at the caller's yield point when a message could not be
+    (re)delivered: the target silo crashed mid-execution, or rerouting
+    after a membership change exhausted its retry budget.  Transient by
+    nature — a retry against the new placement usually succeeds.
+    """
+
+
+class NoLiveSilos(SiloUnavailable):
+    """The placement ring is empty: every silo has left the cluster."""
+
+
 class UnknownGrainType(GrainError):
     """A grain type that was never registered with the cluster."""

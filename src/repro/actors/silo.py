@@ -4,6 +4,21 @@ A silo hosts grain activations and owns a CPU :class:`Resource` with a
 fixed number of cores.  Every grain-method invocation charges its CPU
 cost on the hosting silo, so a silo under heavy load queues work and
 latency climbs — the saturation behaviour the benchmark measures.
+
+Silos have a lifecycle::
+
+    running ──drain──▶ draining ──(handoff done)──▶ stopped
+       │
+       └──crash──▶ crashed
+
+A *draining* silo accepts no new activations (the placement ring has
+already forgotten it) but finishes the work its existing activations
+have queued, persisting storage-backed state before deactivating.  A
+*crashed* silo discards everything volatile on the spot: queued
+messages are re-placed by the cluster, mid-execution calls fail with
+:class:`~repro.actors.errors.SiloUnavailable`, and non-persistent grain
+state is simply gone — the measurable anomaly the fault scenarios
+count.
 """
 
 from __future__ import annotations
@@ -14,20 +29,31 @@ import inspect
 import itertools
 import typing
 
-from repro.actors.errors import GrainCallError
+from repro.actors.errors import GrainCallError, SiloUnavailable
 from repro.runtime.resources import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.actors.cluster import Cluster
     from repro.actors.grain import Grain
+    from repro.actors.placement import GrainDirectory
     from repro.runtime import Environment, Event
 
 _message_ids = itertools.count(1)
 
 
-@dataclasses.dataclass
+class SiloState:
+    """Lifecycle states of a silo (plain strings for cheap checks)."""
+
+    RUNNING = "running"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+    CRASHED = "crashed"
+
+
+@dataclasses.dataclass(eq=False)
 class Message:
-    """One grain-method invocation in flight."""
+    """One grain-method invocation in flight (identity semantics: the
+    same message object survives rerouting across silos)."""
 
     method: str
     args: tuple
@@ -38,25 +64,49 @@ class Message:
     enqueue_time: float = 0.0
     message_id: int = dataclasses.field(
         default_factory=lambda: next(_message_ids))
+    #: Grain reference, kept so the cluster can re-place the message
+    #: after a membership change (None for activation-local timer
+    #: ticks, which die with their activation).
+    ref: object | None = None
+    #: Delivery attempts so far; rerouting is bounded by the cluster.
+    attempts: int = 0
 
 
 class Activation:
     """A live grain instance plus its mailbox and worker process."""
 
     def __init__(self, env: "Environment", silo: "Silo",
-                 grain: "Grain") -> None:
+                 grain: "Grain", adopted: bool = False) -> None:
         self.env = env
         self.silo = silo
         self.grain = grain
+        #: True when this activation received a live-migrated grain:
+        #: its in-memory state travelled with it, so the storage read
+        #: and ``on_activate`` hook are skipped.
+        self.adopted = adopted
         self.mailbox: collections.deque[Message] = collections.deque()
         self._wakeup: "Event | None" = None
         self.ready: "Event" = env.event()  # fires after on_activate
         self.processed = 0
         self.last_activity = env.now
         self.collected = False
+        #: Guards ``on_deactivate`` against double execution when a
+        #: deactivation aborts (a message slipped in mid-hook) and is
+        #: later retried.
+        self.deactivate_hook_ran = False
+        #: Set when the hosting silo crashes: the worker stops, queued
+        #: work is re-placed and late replies are suppressed.
+        self.defunct = False
+        #: Messages currently being executed (≤1 unless reentrant).
+        self.inflight: set[Message] = set()
         self._timers: list["Event"] = []
         grain.activation = self
         env.process(self._start(), name=f"activate:{grain!r}")
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one message is mid-execution."""
+        return bool(self.inflight)
 
     # ------------------------------------------------------------------
     def enqueue(self, message: Message) -> None:
@@ -95,23 +145,30 @@ class Activation:
     # ------------------------------------------------------------------
     def _start(self):
         grain = self.grain
-        if grain.storage_name is not None:
-            storage = grain.cluster.storage(grain.storage_name)
-            state = yield from storage.read(type(grain).__name__, grain.key)
-            if state is not None:
-                grain.state = state
-        hook = grain.on_activate()
-        if inspect.isgenerator(hook):
-            yield from hook
+        if not self.adopted:
+            if grain.storage_name is not None:
+                storage = grain.cluster.storage(grain.storage_name)
+                state = yield from storage.read(type(grain).__name__,
+                                                grain.key)
+                if state is not None:
+                    grain.state = state
+            if self.defunct:
+                return  # silo crashed during the state read
+            hook = grain.on_activate()
+            if inspect.isgenerator(hook):
+                yield from hook
         self.ready.succeed()
         yield from self._worker()
 
     def _worker(self):
         while True:
+            if self.defunct:
+                return
             if not self.mailbox:
                 self._wakeup = self.env.event()
                 yield self._wakeup
                 self._wakeup = None
+                continue
             message = self.mailbox.popleft()
             if self.grain.reentrant:
                 self.env.process(self._execute(message),
@@ -121,8 +178,17 @@ class Activation:
 
     def _execute(self, message: Message):
         grain = self.grain
+        self.inflight.add(message)
+        try:
+            yield from self._execute_inner(message, grain)
+        finally:
+            self.inflight.discard(message)
+
+    def _execute_inner(self, message: Message, grain: "Grain"):
         # Charge the method's CPU cost on this silo's cores.
         yield from self.silo.cpu.use(grain.cpu_cost)
+        if self.defunct:
+            return  # crashed while waiting for a core; promise failed
         method = getattr(grain, message.method, None)
         if method is None or not callable(method):
             self._reply(message, error=GrainCallError(
@@ -155,6 +221,14 @@ class Activation:
         to_send: object = None
         to_throw: BaseException | None = None
         while True:
+            if self.defunct:
+                # The silo crashed while the method was suspended: a
+                # fail-stop host must not resume the body and leak
+                # side effects (nested calls, publishes, writes) from
+                # beyond the grave.  The caller's promise was already
+                # failed at crash time.
+                generator.close()
+                return None
             grain.current_txn = message.txn
             try:
                 if to_throw is not None:
@@ -171,8 +245,15 @@ class Activation:
 
     def _reply(self, message: Message, result: object = None,
                error: BaseException | None = None) -> None:
+        if self.defunct or message.promise.triggered:
+            # The silo crashed under this call: the promise was already
+            # failed with SiloUnavailable and this late outcome must
+            # not escape the dead silo.
+            return
         def deliver():
             yield self.env.timeout(message.reply_latency)
+            if message.promise.triggered:
+                return  # crash failed the promise while the reply flew
             if error is not None:
                 message.promise.fail(error)
             else:
@@ -187,15 +268,71 @@ class Silo:
         self.env = env
         self.name = name
         self.cpu = Resource(env, capacity=cores)
+        self.state = SiloState.RUNNING
         self.activations: dict[tuple[str, str], Activation] = {}
         self.messages_received = 0
+        #: Set by the cluster so activation bookkeeping reaches the
+        #: grain directory (None for silos used standalone in tests).
+        self.directory: "GrainDirectory | None" = None
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Processing work (running or finishing a drain)."""
+        return self.state in (SiloState.RUNNING, SiloState.DRAINING)
+
+    @property
+    def accepting_activations(self) -> bool:
+        """Willing to host *new* activations."""
+        return self.state == SiloState.RUNNING
+
+    def crash(self) -> tuple[list[Message], list[Activation]]:
+        """Fail-stop this silo.
+
+        Returns ``(queued, discarded)``: the mailbox messages that had
+        not started executing (safe to re-place — no effects yet) and
+        the discarded activations.  Mid-execution messages have their
+        promises failed with :class:`SiloUnavailable` immediately; any
+        late outcome from their abandoned generators is suppressed.
+        """
+        self.state = SiloState.CRASHED
+        queued: list[Message] = []
+        discarded: list[Activation] = []
+        for activation in self.activations.values():
+            activation.defunct = True
+            activation.collected = True
+            queued.extend(activation.mailbox)
+            activation.mailbox.clear()
+            for message in list(activation.inflight):
+                if not message.promise.triggered:
+                    message.promise.fail(SiloUnavailable(
+                        f"{self.name} crashed during "
+                        f"{type(activation.grain).__name__}/"
+                        f"{activation.grain.key}.{message.method}"))
+            if (activation._wakeup is not None
+                    and not activation._wakeup.triggered):
+                activation._wakeup.succeed()  # let the worker exit
+            discarded.append(activation)
+        if self.directory is not None:
+            self.directory.drop_silo(self)
+        self.activations.clear()
+        return queued, discarded
+
+    # ------------------------------------------------------------------
+    # activations
+    # ------------------------------------------------------------------
     def activation_for(self, cluster: "Cluster",
                        grain_type: type["Grain"], key: str) -> Activation:
         """Find or create the activation for (grain_type, key)."""
         ident = (grain_type.__name__, key)
         activation = self.activations.get(ident)
         if activation is None:
+            if not self.accepting_activations:
+                raise SiloUnavailable(
+                    f"{self.name} is {self.state}; cannot activate "
+                    f"{grain_type.__name__}/{key}")
             grain = grain_type()
             grain.env = self.env
             grain.cluster = cluster
@@ -203,6 +340,34 @@ class Silo:
             grain.key = key
             activation = Activation(self.env, self, grain)
             self.activations[ident] = activation
+            if self.directory is not None:
+                self.directory.register(grain_type.__name__, key, self,
+                                        cluster.placement.epoch)
+        return activation
+
+    def adopt(self, cluster: "Cluster", grain: "Grain") -> Activation:
+        """Host a live-migrated grain, in-memory state and all.
+
+        Used by drain and post-join rebalancing: the grain object moves
+        from its old silo with its volatile state intact (the old
+        activation must already be deactivated).  If the grain was
+        re-activated here in the meantime, the existing activation
+        wins and the migrated copy is dropped.
+        """
+        ident = (type(grain).__name__, grain.key)
+        existing = self.activations.get(ident)
+        if existing is not None:
+            return existing
+        if not self.accepting_activations:
+            raise SiloUnavailable(
+                f"{self.name} is {self.state}; cannot adopt "
+                f"{ident[0]}/{ident[1]}")
+        grain.silo = self
+        activation = Activation(self.env, self, grain, adopted=True)
+        self.activations[ident] = activation
+        if self.directory is not None:
+            self.directory.register(ident[0], ident[1], self,
+                                    cluster.placement.epoch)
         return activation
 
     def deactivate(self, grain_type_name: str, key: str) -> bool:
@@ -211,6 +376,8 @@ class Silo:
         if activation is None:
             return False
         activation.collected = True
+        if self.directory is not None:
+            self.directory.unregister(grain_type_name, key)
         return True
 
     def idle_activations(self, max_age: float) -> list[Activation]:
@@ -226,4 +393,5 @@ class Silo:
         return len(self.activations)
 
     def __repr__(self) -> str:
-        return f"<Silo {self.name} activations={self.activation_count}>"
+        return (f"<Silo {self.name} {self.state} "
+                f"activations={self.activation_count}>")

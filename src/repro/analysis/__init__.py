@@ -1,6 +1,11 @@
 """Statistics helpers and anomaly analysis for benchmark reports."""
 
 from repro.analysis.anomalies import AnomalyReport
+from repro.analysis.availability import (
+    AvailabilityReport,
+    availability_report,
+    availability_rows,
+)
 from repro.analysis.report import (
     criteria_rows,
     csv_table,
@@ -19,6 +24,9 @@ from repro.analysis.stats import (
 
 __all__ = [
     "AnomalyReport",
+    "AvailabilityReport",
+    "availability_report",
+    "availability_rows",
     "criteria_rows",
     "csv_table",
     "describe",

@@ -253,6 +253,7 @@ class OrleansEventualApp(MarketplaceApp):
             "messages_sent": self.cluster.messages_sent,
             "messages_dropped": self.cluster.messages_dropped,
             "activations": self.cluster.total_activations,
+            "membership": self.cluster.membership_stats(),
             "utilisation": self.cluster.utilisation(),
         }
 

@@ -293,5 +293,6 @@ class OrleansTransactionsApp(MarketplaceApp):
             "messages_dropped": self.cluster.messages_dropped,
             "activations": self.cluster.total_activations,
             "transactions": self.runner.stats.as_dict(),
+            "membership": self.cluster.membership_stats(),
             "utilisation": self.cluster.utilisation(),
         }

@@ -28,6 +28,7 @@ import sys
 import typing
 
 from repro.analysis.anomalies import AnomalyReport
+from repro.analysis.availability import availability_report
 from repro.apps import ALL_APPS, AppConfig
 from repro.core import (
     BenchmarkDriver,
@@ -41,10 +42,12 @@ from repro.core.workload.config import TransactionMix
 from repro.runtime import Environment
 
 
-def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--silos", type=int, default=4,
+def _add_cluster_arguments(parser: argparse.ArgumentParser,
+                           silos_default: int | None = 4,
+                           cores_default: int | None = 4) -> None:
+    parser.add_argument("--silos", type=int, default=silos_default,
                         help="cluster size (silos / partitions)")
-    parser.add_argument("--cores", type=int, default=4,
+    parser.add_argument("--cores", type=int, default=cores_default,
                         help="CPU cores per silo")
     parser.add_argument("--drop", type=float, default=0.0,
                         help="message-loss probability")
@@ -199,6 +202,44 @@ def _print_scenario_metrics(scenario, metrics,
             print(f"  t={second:3d}s {count:6d} {bar}", file=stream)
 
 
+def _print_availability(metrics, stream: typing.TextIO) -> None:
+    report = availability_report(metrics)
+    print("\nmembership fault timeline:", file=stream)
+    for entry in metrics.open_loop.get("fault_events", ()):
+        target = f" {entry['target']}" if entry["target"] else ""
+        status = "applied" if entry["applied"] else \
+            f"skipped ({entry['detail']})"
+        print(f"  t={entry['second']:3d}s {entry['action']}{target}: "
+              f"{status}", file=stream)
+    if report.fault_second is None:
+        print("no disruptive fault was applied; "
+              "availability unaffected.", file=stream)
+        return
+    print("\navailability (per measured second):", file=stream)
+    for row in report.rows:
+        flag = "" if row["available"] else "  << unavailable"
+        print(f"  t={row['second']:3d}s ok={row['ok']:6d} "
+              f"err={row['errors']:5d}{flag}", file=stream)
+    window = report.unavailability_window
+    window_text = (f"seconds {window[0]}..{window[1]} "
+                   f"({report.unavailable_seconds} degraded)"
+                   if window else "empty")
+    recovery = (f"{report.recovery_time:.0f}s after the fault"
+                if report.recovery_time is not None
+                else "not reached in the window")
+    print(f"\npre-fault throughput: {report.pre_fault_tps:,.1f} tx/s",
+          file=stream)
+    print(f"unavailability window: {window_text}", file=stream)
+    print(f"recovery to pre-fault throughput: {recovery}", file=stream)
+    print(f"state-loss anomalies (volatile grains crashed): "
+          f"{report.state_loss_events}", file=stream)
+    print(f"clean volatile handoffs (drain/migration): "
+          f"{report.volatile_handoffs}", file=stream)
+    print(f"messages rerouted: {report.reroutes}  "
+          f"calls failed unavailable: {report.unavailable_failures}",
+          file=stream)
+
+
 def cmd_scenario(args: argparse.Namespace,
                  stream: typing.TextIO = sys.stdout) -> int:
     if args.list or args.name is None:
@@ -217,8 +258,14 @@ def cmd_scenario(args: argparse.Namespace,
               file=stream)
         return 2
     env = Environment(seed=args.seed)
+    # A fault scenario may pin the cluster shape it was designed for
+    # (e.g. scale-out starts small); explicit flags still win.
+    silos = (args.silos if args.silos is not None
+             else scenario.effective_silos)
+    cores = (args.cores if args.cores is not None
+             else scenario.effective_cores)
     app = ALL_APPS[args.app](env, AppConfig(
-        silos=args.silos, cores_per_silo=args.cores,
+        silos=silos, cores_per_silo=cores,
         drop_probability=args.drop))
     driver = scenario.build_driver(
         env, app, rate_scale=args.rate_scale,
@@ -226,6 +273,8 @@ def cmd_scenario(args: argparse.Namespace,
     metrics = driver.run()
     report = audit_app(app, driver)
     _print_scenario_metrics(scenario, metrics, stream)
+    if metrics.open_loop.get("fault_events"):
+        _print_availability(metrics, stream)
     _print_report(report, stream)
     return 0
 
@@ -269,7 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument(
         "--duration-scale", type=float, default=1.0,
         help="stretch or shrink the measured window")
-    _add_cluster_arguments(scenario_parser)
+    # None = let the scenario's pinned cluster shape (if any) apply.
+    _add_cluster_arguments(scenario_parser, silos_default=None,
+                           cores_default=None)
     scenario_parser.set_defaults(func=cmd_scenario)
     return parser
 

@@ -143,6 +143,10 @@ class LatencyRecorder:
         #: not partial seconds): second -> successful completions.
         self.timeline_origin = 0.0
         self.timeline: dict[int, int] = {}
+        #: second -> failed/aborted completions; together with
+        #: ``timeline`` this is the per-second availability series the
+        #: fault scenarios report on.
+        self.error_timeline: dict[int, int] = {}
         self.enabled = False
 
     def _histogram(self, table: dict[str, StreamingHistogram],
@@ -161,9 +165,13 @@ class LatencyRecorder:
             self.latencies.setdefault(operation, []).append(latency)
         per_status = self.outcomes.setdefault(operation, {})
         per_status[status] = per_status.get(status, 0) + 1
-        if status == "ok" and at is not None:
+        if at is not None:
             second = int(at - self.timeline_origin)
-            self.timeline[second] = self.timeline.get(second, 0) + 1
+            if status == "ok":
+                self.timeline[second] = self.timeline.get(second, 0) + 1
+            elif status in ("failed", "aborted"):
+                self.error_timeline[second] = \
+                    self.error_timeline.get(second, 0) + 1
 
     def record_queue_delay(self, operation: str, delay: float) -> None:
         if not self.enabled:
@@ -236,6 +244,10 @@ class RunMetrics:
     #: Per-second successful completions: sorted (second, count) pairs.
     timeline: list[tuple[int, int]] = dataclasses.field(
         default_factory=list)
+    #: Per-second failed/aborted completions: sorted (second, count)
+    #: pairs (the error-rate series of the availability report).
+    error_timeline: list[tuple[int, int]] = dataclasses.field(
+        default_factory=list)
     #: Open-loop counters (arrivals, shed, max in-flight, ...); empty
     #: for closed-loop runs.
     open_loop: dict = dataclasses.field(default_factory=dict)
@@ -290,6 +302,7 @@ class RunMetrics:
         return cls(app=app, workers=workers, duration=duration, ops=ops,
                    runtime=runtime or {},
                    timeline=sorted(recorder.timeline.items()),
+                   error_timeline=sorted(recorder.error_timeline.items()),
                    open_loop=open_loop or {})
 
     @property

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import math
 import typing
 
 from repro.core.driver.arrivals import ArrivalProcess
@@ -41,6 +42,7 @@ from repro.core.workload.generator import generate_dataset
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import MarketplaceApp
     from repro.runtime import Environment
+    from repro.runtime.faults import FaultSchedule
 
 
 @dataclasses.dataclass
@@ -81,6 +83,10 @@ class OpenLoopConfig:
     queue_capacity: int | None = None
     #: Optional flash-sale style skew spike.
     hotspot: HotspotSpec | None = None
+    #: Optional timed membership faults (crash/drain/join), times
+    #: relative to run start like the hotspot window.  Applied to the
+    #: app's actor cluster; apps without one log the events as skipped.
+    faults: "FaultSchedule | None" = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0 or self.drain < 0:
@@ -156,6 +162,12 @@ class OpenLoopDriver(IssuerStateView):
         if self.config.hotspot is not None:
             self.env.process(self._hotspot_controller(self.config.hotspot),
                              name="hotspot")
+        if self.config.faults is not None:
+            # Membership faults act on the app's actor cluster; apps
+            # without one (e.g. the dataflow stack) log them as skipped
+            # so the run — and its report — still completes.
+            self.config.faults.install(self.env,
+                                       getattr(self.app, "cluster", None))
         self.env.run(until=self._deadline + self.config.drain)
         # Actual, not nominal: phased/ramped schedules may repeat or
         # hold their last phase when the window outruns them.
@@ -163,6 +175,12 @@ class OpenLoopDriver(IssuerStateView):
         open_loop = dict(self.stats,
                          offered_rate=self.stats["arrivals"] / window,
                          final_queue=len(self._queue))
+        if self.config.faults is not None:
+            open_loop["fault_events"] = [
+                dict(entry,
+                     second=math.floor(entry["time"]
+                                       - self._measure_start))
+                for entry in self.config.faults.log]
         return RunMetrics.from_recorder(
             self.app.name, self.config.max_in_flight,
             self.config.duration, self.recorder,

@@ -19,9 +19,20 @@ Scenarios deliberately stress different axes of the four platforms:
                         pool, stressing delete compensation paths.
 ``overload-ramp``       arrival rate ramping linearly past capacity to
                         expose the saturation knee.
+``silo-crash``          a silo fail-stops mid-window: volatile grain
+                        state is lost, in-flight calls fail, and the
+                        availability timeline shows the outage and the
+                        recovery.
+``scale-out-under-load``  two joins land on a small hot cluster while
+                        arrivals keep coming: grain migration under
+                        load.
+``rolling-restart``     every original silo is drained and replaced in
+                        sequence — the zero-downtime deployment test.
 
 Rates are expressed relative to ``base_rate`` so one ``--rate-scale``
 knob moves a whole scenario up or down without changing its shape.
+Fault times, like the hotspot window, are relative to run start
+(warm-up included) and stretch with ``--duration-scale``.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from repro.core.driver.open_loop import (
     OpenLoopDriver,
 )
 from repro.core.workload.config import TransactionMix, WorkloadConfig
+from repro.runtime.faults import FaultEvent, FaultSchedule
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import MarketplaceApp
@@ -50,6 +62,10 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Scenario workloads share a modest marketplace so CLI runs finish in
 #: seconds; scale axes live in the arrival schedule, not the dataset.
 _SCALE = dict(sellers=6, customers=64, products_per_seller=8)
+
+#: Silos and cores-per-silo used when neither the scenario nor the
+#: caller pins a cluster shape (mirrors the AppConfig defaults).
+_DEFAULT_CLUSTER_SHAPE = 4
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +87,24 @@ class Scenario:
     queue_capacity: int | None = None
     #: Hotspot window relative to run start, or None.
     hotspot: typing.Callable[[], HotspotSpec] | None = None
+    #: Timed membership faults (times relative to run start), or None.
+    faults: typing.Callable[[], FaultSchedule] | None = None
+    #: Cluster shape the scenario is designed for; the CLI and benches
+    #: use these as the app defaults (None = leave the app default).
+    cluster_silos: int | None = None
+    cluster_cores: int | None = None
+
+    @property
+    def effective_silos(self) -> int:
+        """Silo count to run with when the caller has no override."""
+        return self.cluster_silos if self.cluster_silos is not None \
+            else _DEFAULT_CLUSTER_SHAPE
+
+    @property
+    def effective_cores(self) -> int:
+        """Cores per silo to run with absent a caller override."""
+        return self.cluster_cores if self.cluster_cores is not None \
+            else _DEFAULT_CLUSTER_SHAPE
 
     def build_config(self, rate_scale: float = 1.0,
                      duration_scale: float = 1.0) -> OpenLoopConfig:
@@ -93,6 +127,9 @@ class Scenario:
                 end=hotspot.end * duration_scale,
                 top_ranks=hotspot.top_ranks,
                 probability=hotspot.probability)
+        faults = self.faults() if self.faults else None
+        if faults is not None and duration_scale != 1.0:
+            faults = faults.time_scaled(duration_scale)
         return OpenLoopConfig(
             arrivals=arrivals,
             warmup=self.warmup * duration_scale,
@@ -100,7 +137,8 @@ class Scenario:
             drain=self.drain * duration_scale,
             max_in_flight=self.max_in_flight,
             queue_capacity=self.queue_capacity,
-            hotspot=hotspot)
+            hotspot=hotspot,
+            faults=faults)
 
     def build_driver(self, env: "Environment", app: "MarketplaceApp",
                      rate_scale: float = 1.0,
@@ -218,6 +256,68 @@ _register(Scenario(
     drain=3.0,
     # Deliberately tiny: the ramp must cross the pool's capacity.
     max_in_flight=4,
+))
+
+
+_register(Scenario(
+    name="silo-crash",
+    description="One of four silos fail-stops mid-window: queued calls "
+                "are re-placed, in-flight calls fail, volatile grain "
+                "state is lost, and the availability timeline shows "
+                "the outage depth and the recovery time.",
+    workload=_default_workload(),
+    arrivals=PoissonArrivals,
+    duration=6.0,
+    warmup=1.0,
+    # Crash lands at measured second 2, leaving two clean pre-fault
+    # seconds to baseline the recovery against.
+    faults=lambda: FaultSchedule([
+        FaultEvent(at=3.0, action="crash_silo", target="silo-1"),
+    ]),
+))
+
+_register(Scenario(
+    name="scale-out-under-load",
+    description="A two-silo cluster takes sustained load while two "
+                "silos join mid-window: placement shifts, activations "
+                "migrate to the new owners, and capacity grows without "
+                "stopping traffic.",
+    workload=_default_workload(),
+    arrivals=ConstantRate,
+    base_rate=250.0,
+    duration=6.0,
+    warmup=1.0,
+    max_in_flight=12,
+    cluster_silos=2,
+    cluster_cores=2,
+    faults=lambda: FaultSchedule([
+        FaultEvent(at=3.0, action="add_silo"),
+        FaultEvent(at=4.0, action="add_silo"),
+    ]),
+))
+
+_register(Scenario(
+    name="rolling-restart",
+    description="Every original silo is drained (state handed off "
+                "cleanly) and replaced by a fresh join, one at a time "
+                "under live traffic — the zero-downtime deployment "
+                "drill.",
+    workload=_default_workload(),
+    arrivals=PoissonArrivals,
+    duration=8.0,
+    warmup=1.0,
+    # First drain at measured second 2, leaving a pre-fault baseline;
+    # each replacement joins half a second after its drain begins.
+    faults=lambda: FaultSchedule([
+        FaultEvent(at=3.0, action="drain_silo", target="silo-0"),
+        FaultEvent(at=3.5, action="add_silo"),
+        FaultEvent(at=4.5, action="drain_silo", target="silo-1"),
+        FaultEvent(at=5.0, action="add_silo"),
+        FaultEvent(at=6.0, action="drain_silo", target="silo-2"),
+        FaultEvent(at=6.5, action="add_silo"),
+        FaultEvent(at=7.5, action="drain_silo", target="silo-3"),
+        FaultEvent(at=8.0, action="add_silo"),
+    ]),
 ))
 
 

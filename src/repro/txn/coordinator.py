@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.actors.errors import SiloUnavailable
 from repro.txn.context import TransactionContext, TransactionStatus
 from repro.txn.errors import TransactionAborted
 
@@ -39,6 +40,9 @@ class TxnStats:
     aborted: int = 0
     retries: int = 0
     wait_die_deaths: int = 0
+    #: Retries caused by a silo crash/stop mid-transaction (membership
+    #: churn), as opposed to concurrency-control aborts.
+    silo_retries: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -88,6 +92,20 @@ class TransactionRunner:
                     self.stats.aborted += 1
                     raise
                 self.stats.retries += 1
+                yield self.env.timeout(self._backoff(attempt))
+                continue
+            except SiloUnavailable:
+                # A participant's silo crashed or stopped under the
+                # transaction: roll back and retry — the next attempt
+                # routes to the grain's new owner.  This is what makes
+                # the transactional app ride through membership churn
+                # (at the cost of retries the stats surface).
+                yield from self._abort_all(ctx)
+                if attempt > self.config.max_retries:
+                    self.stats.aborted += 1
+                    raise
+                self.stats.retries += 1
+                self.stats.silo_retries += 1
                 yield self.env.timeout(self._backoff(attempt))
                 continue
             except BaseException:

@@ -1,0 +1,465 @@
+"""Dynamic cluster membership: crash, drain, join and migration."""
+
+import pytest
+
+from repro.actors import (
+    Cluster,
+    ClusterConfig,
+    Grain,
+    NoLiveSilos,
+    SiloState,
+    SiloUnavailable,
+)
+from repro.runtime import Environment, FaultEvent, FaultSchedule
+
+
+class DurableCounter(Grain):
+    """Storage-backed counter: every bump is persisted."""
+
+    storage_name = "default"
+
+    def bump(self):
+        self.state["n"] = self.state.get("n", 0) + 1
+        yield from self.write_state()
+        return self.state["n"]
+
+    def get(self):
+        return self.state.get("n", 0)
+        yield  # pragma: no cover - generator marker
+
+
+class VolatileCounter(Grain):
+    """In-memory counter: state dies with the activation."""
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+        return self.value
+        yield  # pragma: no cover - generator marker
+
+    def get(self):
+        return self.value
+        yield  # pragma: no cover - generator marker
+
+
+def make_cluster(seed=1, detection=0.0, **config_kwargs):
+    env = Environment(seed=seed)
+    cluster = Cluster(env, ClusterConfig(
+        failure_detection_delay=detection, **config_kwargs))
+    return env, cluster
+
+
+def call_sync(env, ref, method, *args, **kwargs):
+    promise = ref.call(method, *args, **kwargs)
+    return env.run(until=promise)
+
+
+def keys_on(cluster, grain_type, silo, keys):
+    return [key for key in keys
+            if cluster.silo_for(cluster.grain_ref(grain_type, key))
+            is silo]
+
+
+KEYS = [f"k{i}" for i in range(24)]
+
+
+# ---------------------------------------------------------------------------
+# crash
+# ---------------------------------------------------------------------------
+class TestCrash:
+    def test_storage_backed_state_survives_mid_run_crash(self):
+        """The acceptance audit: crash a silo mid-run while traffic is
+        flowing; every acknowledged write to a storage-backed grain
+        must be readable afterwards, with the crashed silo's grains
+        resumed on a surviving silo."""
+        env, cluster = make_cluster()
+        refs = {key: cluster.grain_ref(DurableCounter, key)
+                for key in KEYS}
+        victim = cluster.silos[1]
+        victim_keys = keys_on(cluster, DurableCounter, victim, KEYS)
+        assert victim_keys, "hash ring must give silo-1 some keys"
+        acked = {key: 0 for key in KEYS}
+        failures = []
+
+        def traffic():
+            for round_no in range(6):
+                for key in KEYS:
+                    try:
+                        yield refs[key].call("bump")
+                    except SiloUnavailable:
+                        failures.append((round_no, key))
+                        continue
+                    acked[key] += 1
+                yield env.timeout(0.05)
+
+        def saboteur():
+            yield env.timeout(0.16)  # mid-run, traffic in flight
+            cluster.crash_silo(victim)
+
+        done = env.process(traffic())
+        env.process(saboteur())
+        env.run(until=done)
+
+        assert cluster.membership.crashes == 1
+        assert not victim.alive
+        for key in KEYS:
+            owner = cluster.silo_for(refs[key])
+            assert owner.alive
+            if key in victim_keys:
+                assert owner is not victim
+            # Every acknowledged bump survived the crash (an in-flight
+            # bump may have persisted before its reply was lost, so
+            # the audit is >=, never <).
+            assert call_sync(env, refs[key], "get") >= acked[key]
+
+    def test_volatile_state_lost_and_counted(self):
+        env, cluster = make_cluster()
+        refs = {key: cluster.grain_ref(VolatileCounter, key)
+                for key in KEYS}
+        for key in KEYS:
+            assert call_sync(env, refs[key], "bump") == 1
+        victim = cluster.silos[0]
+        victim_keys = keys_on(cluster, VolatileCounter, victim, KEYS)
+        assert victim_keys
+        cluster.crash_silo(victim)
+        env.run(until=env.now + 0.1)
+        assert cluster.membership.state_loss_events == len(victim_keys)
+        for key in victim_keys:  # reactivated empty on a new owner
+            assert call_sync(env, refs[key], "get") == 0
+        survivors = [key for key in KEYS if key not in victim_keys]
+        for key in survivors[:3]:  # untouched elsewhere
+            assert call_sync(env, refs[key], "get") == 1
+
+    def test_calls_fail_during_detection_window_then_recover(self):
+        env, cluster = make_cluster(detection=0.5)
+        ref = None
+        victim = cluster.silos[2]
+        for key in KEYS:  # find a key owned by the victim
+            candidate = cluster.grain_ref(DurableCounter, key)
+            if cluster.silo_for(candidate) is victim:
+                ref = candidate
+                break
+        assert ref is not None
+        call_sync(env, ref, "bump")
+        cluster.crash_silo(victim)
+        # Until detection completes the ring still points at the dead
+        # silo: calls exhaust their delivery attempts and fail.
+        with pytest.raises(SiloUnavailable):
+            call_sync(env, ref, "bump")
+        assert cluster.membership.unavailable_failures > 0
+        env.run(until=env.now + 1.0)  # eviction happened
+        assert cluster.silo_for(ref) is not victim
+        assert call_sync(env, ref, "bump") == 2  # state from storage
+
+    def test_queued_messages_replaced_on_eviction(self):
+        class Slow(Grain):
+            cpu_cost = 0.0001
+
+            def work(self, duration):
+                yield self.env.timeout(duration)
+                return self.env.now
+
+        env, cluster = make_cluster()
+        victim = cluster.silos[0]
+        key = keys_on(cluster, Slow, victim,
+                      [f"s{i}" for i in range(40)])[0]
+        ref = cluster.grain_ref(Slow, key)
+        first = ref.call("work", 0.2)   # executes across the crash
+        env.run(until=0.05)             # ... it is mid-execution now
+        queued = ref.call("work", 0.05)  # waits in the mailbox
+
+        def saboteur():
+            yield env.timeout(0.05)  # crash at t=0.1
+            cluster.crash_silo(victim)
+
+        env.process(saboteur())
+        with pytest.raises(SiloUnavailable):
+            env.run(until=first)  # mid-execution: fails at crash time
+        # The queued message never started: it is re-placed and
+        # completes on the new owner.
+        assert env.run(until=queued) > 0.1
+        assert cluster.membership.reroutes >= 1
+
+    def test_crash_twice_rejected(self):
+        env, cluster = make_cluster()
+        cluster.crash_silo("silo-0")
+        with pytest.raises(SiloUnavailable):
+            cluster.crash_silo("silo-0")
+
+    def test_unknown_silo_name(self):
+        env, cluster = make_cluster()
+        with pytest.raises(KeyError):
+            cluster.crash_silo("silo-99")
+
+
+# ---------------------------------------------------------------------------
+# drain
+# ---------------------------------------------------------------------------
+class TestDrain:
+    def test_drain_persists_storage_backed_state(self):
+        env, cluster = make_cluster()
+        refs = {key: cluster.grain_ref(DurableCounter, key)
+                for key in KEYS}
+        for key in KEYS:
+            call_sync(env, refs[key], "bump")
+        victim = cluster.silos[1]
+        victim_keys = keys_on(cluster, DurableCounter, victim, KEYS)
+        done = cluster.drain_silo(victim)
+        env.run(until=done)
+        assert victim.state == SiloState.STOPPED
+        assert victim.activation_count == 0
+        storage = cluster.storage("default")
+        for key in victim_keys:
+            assert storage.peek("DurableCounter", key) == {"n": 1}
+            assert call_sync(env, refs[key], "bump") == 2
+            assert cluster.silo_for(refs[key]) is not victim
+
+    def test_drain_live_migrates_volatile_state(self):
+        env, cluster = make_cluster()
+        refs = {key: cluster.grain_ref(VolatileCounter, key)
+                for key in KEYS}
+        for key in KEYS:
+            call_sync(env, refs[key], "bump")
+        victim = cluster.silos[2]
+        victim_keys = keys_on(cluster, VolatileCounter, victim, KEYS)
+        assert victim_keys
+        done = cluster.drain_silo(victim)
+        env.run(until=done)
+        assert cluster.membership.state_loss_events == 0
+        assert cluster.membership.volatile_handoffs >= len(victim_keys)
+        for key in victim_keys:  # state travelled with the grain
+            assert call_sync(env, refs[key], "get") == 1
+            assert cluster.silo_for(refs[key]) is not victim
+
+    def test_drain_finishes_queued_work_first(self):
+        class Slow(Grain):
+            def work(self):
+                yield self.env.timeout(0.05)
+                return "done"
+
+        env, cluster = make_cluster()
+        victim = cluster.silos[0]
+        key = keys_on(cluster, Slow, victim,
+                      [f"s{i}" for i in range(40)])[0]
+        ref = cluster.grain_ref(Slow, key)
+        promises = [ref.call("work") for _ in range(3)]
+        drained = cluster.drain_silo(victim)
+        for promise in promises:  # queued work completes, not fails
+            assert env.run(until=promise) == "done"
+        env.run(until=drained)
+        assert victim.state == SiloState.STOPPED
+
+    def test_drain_already_stopped_rejected(self):
+        env, cluster = make_cluster()
+        done = cluster.drain_silo("silo-0")
+        env.run(until=done)
+        with pytest.raises(SiloUnavailable):
+            cluster.drain_silo("silo-0")
+
+
+# ---------------------------------------------------------------------------
+# join / scale-out
+# ---------------------------------------------------------------------------
+class TestJoin:
+    def test_join_bumps_epoch_and_receives_placements(self):
+        env, cluster = make_cluster(silos=2)
+        epoch_before = cluster.placement.epoch
+        new = cluster.add_silo()
+        assert cluster.placement.epoch == epoch_before + 1
+        assert new.name == "silo-2"
+        env.run(until=env.now + 0.2)
+        fresh = [f"fresh{i}" for i in range(200)]
+        owners = {cluster.silo_for(cluster.grain_ref(VolatileCounter,
+                                                     key)).name
+                  for key in fresh}
+        assert new.name in owners
+
+    def test_join_migrates_reassigned_grains_with_state(self):
+        env, cluster = make_cluster(silos=2)
+        refs = {key: cluster.grain_ref(VolatileCounter, key)
+                for key in KEYS}
+        for key in KEYS:
+            call_sync(env, refs[key], "bump")
+        new = cluster.add_silo()
+        moved_keys = keys_on(cluster, VolatileCounter, new, KEYS)
+        assert moved_keys, "the new silo must take over some keys"
+        env.run(until=env.now + 0.5)  # let the rebalance finish
+        assert cluster.membership.migrations >= len(moved_keys)
+        for key in moved_keys:
+            assert (new.name, ) == (cluster.directory.lookup(
+                "VolatileCounter", key).silo.name, )
+            assert call_sync(env, refs[key], "get") == 1
+
+    def test_crash_then_join_restores_capacity(self):
+        env, cluster = make_cluster()
+        cluster.crash_silo("silo-3")
+        assert len(cluster.live_silos) == 3
+        cluster.add_silo()
+        assert len(cluster.live_silos) == 4
+        ref = cluster.grain_ref(DurableCounter, "x")
+        assert call_sync(env, ref, "bump") == 1
+
+
+# ---------------------------------------------------------------------------
+# empty ring
+# ---------------------------------------------------------------------------
+class TestNoLiveSilos:
+    def test_dispatch_returns_failed_promise_not_exception(self):
+        env, cluster = make_cluster(silos=1)
+        cluster.crash_silo("silo-0")
+        ref = cluster.grain_ref(DurableCounter, "x")
+        promise = ref.call("bump")  # must not raise here
+        with pytest.raises(NoLiveSilos):
+            env.run(until=promise)
+        assert cluster.membership.unavailable_failures >= 1
+
+    def test_place_raises_no_live_silos(self):
+        env, cluster = make_cluster(silos=1)
+        cluster.crash_silo("silo-0")
+        with pytest.raises(NoLiveSilos):
+            cluster.silo_for(cluster.grain_ref(DurableCounter, "x"))
+
+    def test_tell_into_empty_ring_is_swallowed(self):
+        env, cluster = make_cluster(silos=1)
+        cluster.crash_silo("silo-0")
+        cluster.grain_ref(DurableCounter, "x").tell("bump")
+        env.run()  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# grain directory
+# ---------------------------------------------------------------------------
+class TestDirectory:
+    def test_classify_lifecycle(self):
+        env, cluster = make_cluster()
+        directory = cluster.directory
+        placement = cluster.placement
+        assert directory.classify("DurableCounter", "x",
+                                  placement) == "unknown"
+        ref = cluster.grain_ref(DurableCounter, "x")
+        call_sync(env, ref, "bump")
+        assert directory.classify("DurableCounter", "x",
+                                  placement) == "active"
+        home = cluster.silo_for(ref)
+        cluster.crash_silo(home)
+        assert directory.classify("DurableCounter", "x",
+                                  placement) == "lost"
+        call_sync(env, ref, "bump")  # re-activates on the new owner
+        assert directory.classify("DurableCounter", "x",
+                                  placement) == "active"
+
+    def test_classify_moved_after_join(self):
+        env, cluster = make_cluster(silos=2)
+        refs = {key: cluster.grain_ref(VolatileCounter, key)
+                for key in KEYS}
+        for key in KEYS:
+            call_sync(env, refs[key], "bump")
+        new = cluster.add_silo()
+        moved = keys_on(cluster, VolatileCounter, new, KEYS)
+        assert moved
+        # Before the rebalance completes the old activation is stale:
+        # the ring points at the new owner, the directory at the old.
+        statuses = {cluster.directory.classify("VolatileCounter", key,
+                                               cluster.placement)
+                    for key in moved}
+        assert statuses == {"moved"}
+        env.run(until=env.now + 0.5)
+        statuses = {cluster.directory.classify("VolatileCounter", key,
+                                               cluster.placement)
+                    for key in moved}
+        assert statuses == {"active"}
+
+    def test_deactivation_unregisters(self):
+        env, cluster = make_cluster()
+        ref = cluster.grain_ref(DurableCounter, "x")
+        call_sync(env, ref, "bump")
+        cluster.silo_for(ref).deactivate("DurableCounter", "x")
+        assert cluster.directory.lookup("DurableCounter", "x") is None
+        assert cluster.directory.classify(
+            "DurableCounter", "x", cluster.placement) == "unknown"
+
+
+# ---------------------------------------------------------------------------
+# fault schedules
+# ---------------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_events_fire_in_order_at_their_times(self):
+        env = Environment(seed=1)
+        hits = []
+
+        class Target:
+            def crash_silo(self, name):
+                hits.append((env.now, "crash", name))
+                return name
+
+            def add_silo(self):
+                hits.append((env.now, "join", None))
+
+        schedule = FaultSchedule([
+            FaultEvent(at=0.5, action="add_silo"),
+            FaultEvent(at=0.2, action="crash_silo", target="s0"),
+        ])
+        schedule.install(env, Target())
+        env.run(until=1.0)
+        assert hits == [(0.2, "crash", "s0"), (0.5, "join", None)]
+        assert all(entry["applied"] for entry in schedule.log)
+
+    def test_unsupported_actions_logged_not_raised(self):
+        env = Environment(seed=1)
+        schedule = FaultSchedule([
+            FaultEvent(at=0.1, action="crash_silo", target="s0")])
+        schedule.install(env, target=None)
+        env.run(until=1.0)
+        assert len(schedule.log) == 1
+        assert not schedule.log[0]["applied"]
+
+    def test_action_errors_logged_not_raised(self):
+        env = Environment(seed=1)
+
+        class Exploding:
+            def crash_silo(self, name):
+                raise KeyError(name)
+
+        schedule = FaultSchedule([
+            FaultEvent(at=0.1, action="crash_silo", target="s9")])
+        schedule.install(env, Exploding())
+        env.run(until=1.0)
+        assert not schedule.log[0]["applied"]
+        assert "KeyError" in schedule.log[0]["detail"]
+
+    def test_time_scaled(self):
+        schedule = FaultSchedule([
+            FaultEvent(at=2.0, action="add_silo")])
+        assert schedule.time_scaled(0.5).events[0].at == 1.0
+        with pytest.raises(ValueError):
+            schedule.time_scaled(0.0)
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, action="crash_silo")
+        with pytest.raises(ValueError):
+            FaultEvent(at=1.0, action="")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: fault schedule against a live cluster
+# ---------------------------------------------------------------------------
+class TestFaultScheduleOnCluster:
+    def test_crash_schedule_drives_cluster(self):
+        env, cluster = make_cluster()
+        ref = cluster.grain_ref(DurableCounter, "x")
+        call_sync(env, ref, "bump")
+        schedule = FaultSchedule([
+            FaultEvent(at=0.3, action="crash_silo", target="silo-0"),
+            FaultEvent(at=0.6, action="add_silo"),
+        ])
+        schedule.install(env, cluster)
+        env.run(until=env.now + 1.0)
+        assert cluster.membership.crashes == 1
+        assert cluster.membership.joins == 1
+        assert [entry["applied"] for entry in schedule.log] == \
+            [True, True]
+        assert len(cluster.live_silos) == 4

@@ -1,0 +1,107 @@
+"""Property-based tests for consistent-hash placement stability.
+
+The promises the membership layer leans on: placement is a pure
+function of the silo *set* (deterministic across runs and insertion
+orders), and one membership change relocates only ~1/n of the key
+population — never keys that had nothing to do with the changed silo.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actors.placement import ConsistentHashPlacement
+
+
+class FakeSilo:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"<FakeSilo {self.name}>"
+
+
+KEYS = [f"key-{i}" for i in range(400)]
+
+silo_counts = st.integers(min_value=2, max_value=8)
+name_salts = st.integers(min_value=0, max_value=10_000)
+
+
+def build(names):
+    placement = ConsistentHashPlacement()
+    silos = {name: FakeSilo(name) for name in names}
+    for silo in silos.values():
+        placement.add_silo(silo)
+    return placement, silos
+
+
+def placements(placement):
+    return {key: placement.place("T", key).name for key in KEYS}
+
+
+@given(silo_counts, name_salts)
+@settings(max_examples=25, deadline=None)
+def test_placement_deterministic_across_runs(n, salt):
+    names = [f"silo-{salt}-{i}" for i in range(n)]
+    first, _ = build(names)
+    second, _ = build(names)
+    assert placements(first) == placements(second)
+
+
+@given(silo_counts, name_salts)
+@settings(max_examples=25, deadline=None)
+def test_placement_independent_of_insertion_order(n, salt):
+    names = [f"silo-{salt}-{i}" for i in range(n)]
+    forward, _ = build(names)
+    backward, _ = build(list(reversed(names)))
+    assert placements(forward) == placements(backward)
+
+
+@given(silo_counts, name_salts)
+@settings(max_examples=25, deadline=None)
+def test_adding_a_silo_relocates_about_one_nth(n, salt):
+    names = [f"silo-{salt}-{i}" for i in range(n)]
+    placement, silos = build(names)
+    before = placements(placement)
+    epoch_before = placement.epoch
+    joiner = FakeSilo(f"silo-{salt}-new")
+    placement.add_silo(joiner)
+    assert placement.epoch == epoch_before + 1
+    after = placements(placement)
+    moved = [key for key in KEYS if after[key] != before[key]]
+    # Consistent hashing: every relocated key lands on the joiner ...
+    assert all(after[key] == joiner.name for key in moved)
+    # ... and the joiner takes roughly its fair share, 1/(n+1): some
+    # keys, but no more than ~2.5x the fair share (64 virtual nodes
+    # keep the shares concentrated).
+    expected = len(KEYS) / (n + 1)
+    assert 0 < len(moved) <= 2.5 * expected
+
+
+@given(silo_counts, name_salts)
+@settings(max_examples=25, deadline=None)
+def test_removing_a_silo_relocates_only_its_keys(n, salt):
+    names = [f"silo-{salt}-{i}" for i in range(n)]
+    placement, silos = build(names)
+    before = placements(placement)
+    victim = names[0]
+    placement.remove_silo(silos[victim])
+    after = placements(placement)
+    for key in KEYS:
+        if before[key] != victim:
+            # Keys that never lived on the victim must not move.
+            assert after[key] == before[key]
+        else:
+            assert after[key] != victim
+
+
+@given(silo_counts, name_salts)
+@settings(max_examples=25, deadline=None)
+def test_add_then_remove_is_identity(n, salt):
+    names = [f"silo-{salt}-{i}" for i in range(n)]
+    placement, _ = build(names)
+    before = placements(placement)
+    joiner = FakeSilo(f"silo-{salt}-transient")
+    placement.add_silo(joiner)
+    placement.remove_silo(joiner)
+    assert placements(placement) == before
+    assert placement.epoch == n + 2  # every change bumped the epoch

@@ -8,7 +8,11 @@ from repro.core.scenarios import SCENARIOS, get_scenario, scenario_names
 from repro.runtime import Environment
 
 EXPECTED = {"baseline", "flash-sale", "heavy-writer",
-            "burst-then-quiesce", "delete-churn", "overload-ramp"}
+            "burst-then-quiesce", "delete-churn", "overload-ramp",
+            "silo-crash", "scale-out-under-load", "rolling-restart"}
+
+FAULT_SCENARIOS = {"silo-crash", "scale-out-under-load",
+                   "rolling-restart"}
 
 
 class TestRegistry:
@@ -89,3 +93,36 @@ class TestScenarioSmoke:
     def test_burst_then_quiesce_drains(self):
         metrics, driver, app = run_scenario("burst-then-quiesce")
         assert metrics.open_loop["final_queue"] == 0
+
+
+class TestFaultScenarios:
+    """The stub app has no actor cluster: every membership fault must
+    be skipped gracefully and the run must still complete."""
+
+    @pytest.mark.parametrize("name", sorted(FAULT_SCENARIOS))
+    def test_faults_logged_and_skipped_without_cluster(self, name):
+        metrics, driver, app = run_scenario(name)
+        events = metrics.open_loop["fault_events"]
+        assert events, "fault schedule must be installed and logged"
+        assert all(not entry["applied"] for entry in events)
+        assert metrics.total_throughput > 0
+
+    def test_fault_times_stretch_with_duration_scale(self):
+        scenario = get_scenario("silo-crash")
+        full = scenario.build_config()
+        half = scenario.build_config(duration_scale=0.5)
+        assert half.faults.events[0].at == \
+            full.faults.events[0].at * 0.5
+
+    def test_fault_schedules_are_fresh_per_build(self):
+        scenario = get_scenario("silo-crash")
+        assert scenario.build_config().faults is not \
+            scenario.build_config().faults
+
+    def test_availability_report_without_applied_faults(self):
+        from repro.analysis.availability import availability_report
+        metrics, driver, app = run_scenario("silo-crash")
+        report = availability_report(metrics)
+        assert report.fault_second is None
+        assert report.unavailability_window is None
+        assert all(row["available"] for row in report.rows)
