@@ -82,10 +82,14 @@ class Grain:
         self.activation.register_timer(interval, method, *args, **kwargs)
 
     def write_state(self):
-        """Process helper: persist ``self.state``."""
+        """Process helper: persist ``self.state``.
+
+        The storage provider materialises the state into a frozen
+        version (copy-on-write views persist only their changes).
+        """
         storage = self.cluster.storage(self.storage_name)
         yield from storage.write(type(self).__name__, self.key,
-                                 dict(self.state))
+                                 self.state)
 
     def clear_state(self):
         """Process helper: delete persisted state."""
@@ -130,7 +134,6 @@ class GrainRef:
     def tell(self, method: str, *args, **kwargs) -> None:
         """Fire-and-forget invocation (failures are logged, not raised)."""
         promise = self.call(method, *args, **kwargs)
-        promise.defuse_on_failure = True  # type: ignore[attr-defined]
         self.cluster.track_oneway(promise)
 
     def __eq__(self, other: object) -> bool:

@@ -250,15 +250,15 @@ class Activation:
             # failed with SiloUnavailable and this late outcome must
             # not escape the dead silo.
             return
-        def deliver():
-            yield self.env.timeout(message.reply_latency)
+        def deliver(_event):
             if message.promise.triggered:
                 return  # crash failed the promise while the reply flew
             if error is not None:
                 message.promise.fail(error)
             else:
                 message.promise.succeed(result)
-        self.env.process(deliver(), name=f"reply:{message.method}")
+        # Raw timeout callback: a reply in flight has no process body.
+        self.env.timeout(message.reply_latency).callbacks.append(deliver)
 
 
 class Silo:

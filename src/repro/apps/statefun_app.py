@@ -95,7 +95,9 @@ class StatefunApp(MarketplaceApp):
 
     def _install(self, type_name: str, key: str, state: dict) -> None:
         worker = self.runtime.worker_for((type_name, key))
-        worker.state[(type_name, key)] = dict(state)
+        # state_for (rather than a raw dict insert) marks the address
+        # dirty for the incremental checkpointer.
+        worker.state_for((type_name, key)).update(state)
 
     # ------------------------------------------------------------------
     # workload operations
@@ -206,4 +208,5 @@ class StatefunApp(MarketplaceApp):
             "checkpoints": self.runtime.checkpoints_taken,
             "recoveries": self.runtime.recoveries,
             "egress_events": len(self.runtime.egress_log),
+            "ingress_compacted": self.runtime.ingress_compacted,
         }

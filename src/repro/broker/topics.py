@@ -56,9 +56,10 @@ class Subscription:
     def offer(self, envelope: EventEnvelope, latency: float) -> None:
         """Route ``envelope`` to this subscriber according to the mode."""
         if self.mode is DeliveryMode.UNORDERED:
-            self.env.process(
-                self._deliver_after(envelope, latency),
-                name=f"deliver:{self.name}")
+            # Raw timeout callback: unordered delivery has no process
+            # body to suspend (see Cluster._route for the rationale).
+            self.env.timeout(latency).callbacks.append(
+                lambda _event, envelope=envelope: self._invoke(envelope))
         else:
             queue = self._key_queues[envelope.key]
             queue.append(envelope)
@@ -67,10 +68,6 @@ class Subscription:
                 self.env.process(
                     self._drain_key(envelope.key, latency),
                     name=f"drain:{self.name}:{envelope.key}")
-
-    def _deliver_after(self, envelope: EventEnvelope, latency: float):
-        yield self.env.timeout(latency)
-        self._invoke(envelope)
 
     def _drain_key(self, key: str, latency: float):
         queue = self._key_queues[key]

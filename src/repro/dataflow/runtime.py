@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import collections
-import copy
 import dataclasses
 import inspect
 import typing
 import zlib
 
+from repro.cow import clone
 from repro.dataflow.function import Context, StatefulFunction
 from repro.dataflow.messages import FunctionMessage
 from repro.runtime.resources import Resource
@@ -45,6 +45,14 @@ class StatefunConfig:
 
 @dataclasses.dataclass
 class _Checkpoint:
+    """An aligned snapshot.
+
+    ``worker_states`` entries are *frozen*: the snapshot maps are built
+    incrementally (unchanged addresses share their state tree with the
+    previous checkpoint) and must never be mutated — restores hand
+    clones back to the workers.
+    """
+
     time: float
     ingress_offset: int
     worker_states: list[dict]
@@ -62,6 +70,15 @@ class Worker:
         self.cpu = Resource(env, capacity=cores)
         self.queue: collections.deque[FunctionMessage] = collections.deque()
         self.state: dict[tuple[str, str], dict] = {}
+        #: Addresses whose state may have changed since the last
+        #: checkpoint; only these are re-snapshotted (dirty tracking is
+        #: conservative: any state access marks the address).
+        self.dirty: set[tuple[str, str]] = set()
+        #: Address of the message currently being processed (workers
+        #: process one message at a time).  A generator function
+        #: suspended across a checkpoint still holds its state dict, so
+        #: the checkpoint must keep this address dirty.
+        self.active_address: tuple[str, str] | None = None
         self.processed = 0
         self._wakeup: "Event | None" = None
         env.process(self._loop(), name=f"worker-{index}")
@@ -72,6 +89,7 @@ class Worker:
             self._wakeup.succeed()
 
     def state_for(self, address: tuple[str, str]) -> dict:
+        self.dirty.add(address)
         state = self.state.get(address)
         if state is None:
             state = {}
@@ -99,11 +117,16 @@ class Worker:
         if getattr(message, "cross_partition", False):
             cpu_cost += runtime.config.cross_partition_cpu
         yield from self.cpu.use(cpu_cost)
-        state = self.state_for(message.address())
-        context = Context(runtime, self, message, state)
-        result = function.invoke(context, message.payload)
-        if inspect.isgenerator(result):
-            yield from result
+        address = message.address()
+        self.active_address = address
+        try:
+            state = self.state_for(address)
+            context = Context(runtime, self, message, state)
+            result = function.invoke(context, message.payload)
+            if inspect.isgenerator(result):
+                yield from result
+        finally:
+            self.active_address = None
         self.processed += 1
         runtime.messages_processed += 1
 
@@ -120,7 +143,12 @@ class StatefunRuntime:
                         for index in range(self.config.partitions)]
         self._functions: dict[str, StatefulFunction] = {}
         # Exactly-once machinery -----------------------------------------
+        #: Ingress messages newer than the last checkpoint offset; the
+        #: prefix up to ``ingress_base`` has been compacted away (it can
+        #: never be replayed again).
         self.ingress_log: list[FunctionMessage] = []
+        self.ingress_base = 0
+        self.ingress_compacted = 0
         self._in_flight = 0
         self.paused = False
         self.resume_event: "Event" = env.event()
@@ -167,7 +195,7 @@ class StatefunRuntime:
         message = FunctionMessage(
             target_type=target_type, target_key=target_key,
             payload=payload, request_id=request_id, is_ingress=True,
-            ingress_offset=len(self.ingress_log))
+            ingress_offset=self.ingress_base + len(self.ingress_log))
         self.ingress_log.append(message)
         self._deliver(message)
         return message
@@ -258,11 +286,57 @@ class StatefunRuntime:
         """
         self._last_checkpoint = _Checkpoint(
             time=self.env.now,
-            ingress_offset=len(self.ingress_log),
-            worker_states=[copy.deepcopy(worker.state)
-                           for worker in self.workers],
+            ingress_offset=self.ingress_base + len(self.ingress_log),
+            worker_states=self._snapshot_worker_states(full=True),
             worker_queues=[list(worker.queue)
                            for worker in self.workers])
+        self._compact_ingress()
+
+    def _snapshot_worker_states(self, full: bool = False) -> list[dict]:
+        """Frozen per-worker state maps for a new checkpoint.
+
+        Incremental: only addresses touched since the previous
+        checkpoint are re-cloned; unchanged addresses share their
+        (frozen) state tree with the previous snapshot.  ``full``
+        forces a complete snapshot (used when state was installed
+        outside the message path, e.g. data ingestion).
+        """
+        previous = self._last_checkpoint
+        states = []
+        for index, worker in enumerate(self.workers):
+            if full or previous is None:
+                snapshot = {address: clone(state)
+                            for address, state in worker.state.items()}
+            else:
+                snapshot = dict(previous.worker_states[index])
+                for address in worker.dirty:
+                    state = worker.state.get(address)
+                    if state is not None:
+                        snapshot[address] = clone(state)
+            worker.dirty.clear()
+            # A function suspended across this checkpoint still holds
+            # its state dict and may mutate it after resuming; keep its
+            # address dirty so the *next* snapshot re-clones it.
+            if worker.active_address is not None:
+                worker.dirty.add(worker.active_address)
+            states.append(snapshot)
+        return states
+
+    def _compact_ingress(self) -> None:
+        """Drop ingress messages at offsets below the last checkpoint.
+
+        Recovery never replays past the checkpoint offset, so the
+        prefix is dead weight; compacting it bounds the log by the
+        checkpoint interval instead of the run length.
+        """
+        checkpoint = self._last_checkpoint
+        if checkpoint is None:
+            return
+        drop = checkpoint.ingress_offset - self.ingress_base
+        if drop > 0:
+            del self.ingress_log[:drop]
+            self.ingress_base = checkpoint.ingress_offset
+            self.ingress_compacted += drop
 
     def take_checkpoint(self):
         """Process helper: stop-the-world aligned snapshot."""
@@ -278,12 +352,12 @@ class StatefunRuntime:
         yield self.env.timeout(self.config.checkpoint_sync)
         self._last_checkpoint = _Checkpoint(
             time=self.env.now,
-            ingress_offset=len(self.ingress_log),
-            worker_states=[copy.deepcopy(worker.state)
-                           for worker in self.workers],
+            ingress_offset=self.ingress_base + len(self.ingress_log),
+            worker_states=self._snapshot_worker_states(),
             worker_queues=[list(worker.queue)
                            for worker in self.workers])
         self.checkpoints_taken += 1
+        self._compact_ingress()
         self._resume()
 
     def inject_failure(self):
@@ -310,19 +384,25 @@ class StatefunRuntime:
             # No checkpoint yet: restart from scratch, replay everything.
             for worker in self.workers:
                 worker.state = {}
+                worker.dirty.clear()
                 worker.queue.clear()
             replay_from = 0
         else:
             for worker, state, queue in zip(self.workers,
                                             checkpoint.worker_states,
                                             checkpoint.worker_queues):
-                worker.state = copy.deepcopy(state)
+                # Clone: the snapshot stays frozen (it may be restored
+                # again) while the worker mutates its copy in place.
+                worker.state = {address: clone(tree)
+                                for address, tree in state.items()}
+                worker.dirty.clear()
                 worker.queue.clear()
                 worker.queue.extend(queue)
             replay_from = checkpoint.ingress_offset
         self._recovering = False
         self._resume()
-        for message in self.ingress_log[replay_from:]:
+        for message in self.ingress_log[max(
+                0, replay_from - self.ingress_base):]:
             replayed = FunctionMessage(
                 target_type=message.target_type,
                 target_key=message.target_key,

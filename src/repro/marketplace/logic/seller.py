@@ -10,6 +10,7 @@ payment events — which is what makes the two reads able to diverge.
 
 from __future__ import annotations
 
+from repro.cow import peek, scan_values
 from repro.marketplace.constants import OrderStatus
 
 
@@ -67,10 +68,14 @@ def update_entry_status(state: dict, order_id: str, status: str,
 
 def dashboard_amount(state: dict) -> int:
     """Query 1: financial amount of orders in progress."""
-    return sum(entry["amount_cents"] for entry in state["entries"].values())
+    return sum(entry["amount_cents"]
+               for entry in scan_values(peek(state, "entries")))
 
 
 def dashboard_entries(state: dict) -> list[dict]:
-    """Query 2: the tuples behind query 1 (sorted for determinism)."""
-    return sorted((dict(entry) for entry in state["entries"].values()),
+    """Query 2: the tuples behind query 1 (sorted for determinism).
+
+    Entries are copied on the way out (the scan yields frozen state)."""
+    return sorted((dict(entry) for entry in scan_values(
+                       peek(state, "entries"))),
                   key=lambda entry: entry["order_id"])

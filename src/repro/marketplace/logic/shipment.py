@@ -8,6 +8,7 @@ sets their respective oldest order's packages as delivered".
 
 from __future__ import annotations
 
+from repro.cow import peek, scan_values
 from repro.marketplace.constants import PackageStatus
 
 
@@ -52,8 +53,11 @@ def create_shipment(state: dict, order_id: str, customer_id: int,
 def undelivered_seller_times(state: dict) -> list[tuple[int, float]]:
     """(seller, earliest undelivered ship time) pairs for this partition."""
     first_seen: dict[int, float] = {}
-    for shipment in state["shipments"].values():
-        for package in shipment["packages"].values():
+    # Read-only scan over the whole partition: peek/scan_values walk
+    # the frozen state directly instead of wrapping every shipment and
+    # package in a copy-on-write view just to compare atoms.
+    for shipment in scan_values(peek(state, "shipments")):
+        for package in scan_values(peek(shipment, "packages")):
             if package["status"] != PackageStatus.DELIVERED:
                 seller = package["seller_id"]
                 when = package["shipped_at"]
@@ -72,13 +76,15 @@ def oldest_undelivered_package(state: dict,
                                seller_id: int) -> dict | None:
     """The seller's oldest package not yet delivered (or None)."""
     best = None
-    for shipment in state["shipments"].values():
-        for package in shipment["packages"].values():
+    for shipment in scan_values(peek(state, "shipments")):
+        for package in scan_values(peek(shipment, "packages")):
             if (package["seller_id"] == seller_id
                     and package["status"] != PackageStatus.DELIVERED):
                 if best is None or package["shipped_at"] < best["shipped_at"]:
                     best = package
-    return best
+    # The winner may be a frozen committed package: hand back a copy so
+    # callers cannot reach engine-owned state through the result.
+    return dict(best) if best is not None else None
 
 
 def mark_delivered(state: dict, order_id: str, package_id: str,

@@ -17,6 +17,9 @@ from repro.runtime.rng import SeedSequenceFactory
 
 __all__ = ["Environment", "Interrupt", "SimulationError"]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(Exception):
     """An unhandled failure surfaced by the simulation kernel."""
@@ -43,6 +46,9 @@ class Environment:
         self._active_process: Process | None = None
         self._seeds = SeedSequenceFactory(seed)
         self.seed = seed
+        #: Events processed so far — the kernel's unit of work, used by
+        #: the hot-path benchmark to report events per wall-second.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -59,9 +65,8 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = PRIORITY_NORMAL) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
-        self._seq += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -71,11 +76,12 @@ class Environment:
         """Process the single next event in the queue."""
         if not self._queue:
             raise RuntimeError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = _heappop(self._queue)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)
-        if not event.ok and not event.defused:
+        if not event._ok and not event._defused:
             exc = typing.cast(BaseException, event._value)
             raise SimulationError(
                 f"unhandled failure in {event!r}") from exc
@@ -102,13 +108,15 @@ class Environment:
                 raise ValueError(
                     f"until={stop_time} lies in the past (now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 break
-            self.step()
+            step()
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -25,6 +25,8 @@ class Event:
     every waiting process at the current simulation time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[typing.Callable[["Event"], None]] | None = []
@@ -96,14 +98,20 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay of simulated time."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float,
                  value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ — timeouts are the kernel's most
+        # frequently created event; one call frame per yield matters.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
 
@@ -141,6 +149,8 @@ class Condition(Event):
     returns True, or fails as soon as any constituent event fails.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(self, env: "Environment",
                  evaluate: typing.Callable[[list[Event], int], bool],
                  events: typing.Iterable[Event]) -> None:
@@ -160,6 +170,8 @@ class Condition(Event):
             return
 
         for event in self._events:
+            if self.triggered:
+                break  # already decided: do not subscribe to the rest
             if event.processed:
                 self._check(event)
             elif event.callbacks is not None:
@@ -181,12 +193,33 @@ class Condition(Event):
         if not event.ok:
             event.defuse()
             self.fail(typing.cast(BaseException, event.value))
+            self._detach()
         elif self._evaluate(self._events, self._count):
             self.succeed(self._collect_values())
+            self._detach()
+
+    def _detach(self) -> None:
+        """Unsubscribe from constituents that have not fired yet.
+
+        Without this, a decided condition (e.g. an ``AnyOf`` whose
+        winner fired) stays registered on every losing event; a
+        long-lived loser then pins the condition — and through it the
+        whole event list — for its own lifetime.
+        """
+        check = self._check
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
 
 
 class AllOf(Condition):
     """Condition that fires when *all* constituent events have fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment",
                  events: typing.Iterable[Event]) -> None:
@@ -198,6 +231,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Condition that fires when *any* constituent event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment",
                  events: typing.Iterable[Event]) -> None:

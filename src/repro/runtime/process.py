@@ -34,6 +34,8 @@ class Process(Event):
     exception that escaped it.
     """
 
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
+
     def __init__(self, env: "Environment",
                  generator: typing.Generator[Event, object, object],
                  name: str | None = None) -> None:
@@ -41,6 +43,10 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound methods cached once: _resume runs for every event the
+        # process waits on, so per-resume attribute chains add up.
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the process via an immediately-scheduled init event.
@@ -78,31 +84,32 @@ class Process(Event):
         self.env.schedule(interrupt_event, priority=0)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
-            if event.ok:
-                result = self._generator.send(event.value)
+            if event._ok:
+                result = self._send(event._value)
             else:
                 # The event failed: raise its exception inside the process.
                 event.defuse()
-                result = self._generator.throw(
+                result = self._throw(
                     typing.cast(BaseException, event.value))
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
-            self.env.schedule(self)
+            env.schedule(self)
             self._target = None
-            self.env._active_process = None
+            env._active_process = None
             return
         except BaseException as exc:
             self._ok = False
             self._value = exc
-            self.env.schedule(self)
+            env.schedule(self)
             self._target = None
-            self.env._active_process = None
+            env._active_process = None
             return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
         if not isinstance(result, Event):
             error = RuntimeError(
@@ -110,19 +117,20 @@ class Process(Event):
                 f"which is not an Event")
             self._kill(error)
             return
-        if result.callbacks is None:
+        callbacks = result.callbacks
+        if callbacks is None:
             # Already processed: resume immediately (next scheduler step).
             immediate = Event(self.env)
-            immediate._ok = result.ok
+            immediate._ok = result._ok
             immediate._value = result._value
-            if not result.ok:
+            if not result._ok:
                 result.defuse()
                 immediate._defused = True
             immediate.callbacks.append(self._resume)
-            self.env.schedule(immediate)
+            env.schedule(immediate)
             self._target = result
         else:
-            result.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = result
 
     def _kill(self, exc: BaseException) -> None:

@@ -21,6 +21,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class ResourceRequest(Event):
     """Event that fires when the requested slot is granted."""
 
+    __slots__ = ("resource", "granted")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -70,13 +72,17 @@ class Resource:
             return 0.0
         return self._busy_time / (horizon * self.capacity)
 
+    def _grant(self, request: ResourceRequest) -> None:
+        """Hand ``request`` a slot (bookkeeping shared by all grants)."""
+        self._account()
+        self._in_use += 1
+        request.granted = True
+
     def request(self) -> ResourceRequest:
         """Request a slot; the returned event fires when granted."""
         request = ResourceRequest(self)
         if self._in_use < self.capacity:
-            self._account()
-            self._in_use += 1
-            request.granted = True
+            self._grant(request)
             request.succeed()
         else:
             self._waiting.append(request)
@@ -90,8 +96,7 @@ class Resource:
         self._in_use -= 1
         while self._waiting and self._in_use < self.capacity:
             waiter = self._waiting.popleft()
-            self._in_use += 1
-            waiter.granted = True
+            self._grant(waiter)
             waiter.succeed()
 
     def use(self, duration: float):
@@ -100,9 +105,17 @@ class Resource:
         Usage inside a process generator::
 
             yield from resource.use(0.002)
+
+        When a slot is free the grant is synchronous — no grant event
+        is scheduled, the hold timeout starts immediately.  Contended
+        requests queue FIFO exactly as before.
         """
-        request = self.request()
-        yield request
+        if self._in_use < self.capacity:
+            request = ResourceRequest(self)
+            self._grant(request)
+        else:
+            request = self.request()
+            yield request
         try:
             yield self.env.timeout(duration)
         finally:

@@ -14,6 +14,17 @@ class SerializationError(Exception):
     newer version of a row this transaction wrote."""
 
 
+def _order_rows(rows: list[Row], order_by: str | None,
+                descending: bool) -> None:
+    """Sort rows in place: by column (missing-first) or primary key."""
+    if order_by is not None:
+        rows.sort(key=lambda row: (row.get(order_by) is not None,
+                                   row.get(order_by), str(row.key)),
+                  reverse=descending)
+    else:
+        rows.sort(key=lambda row: str(row.key))
+
+
 class Snapshot:
     """A read-only view of the database as of a single timestamp.
 
@@ -60,12 +71,7 @@ class Snapshot:
                 continue
             if predicate is None or predicate(data):
                 rows.append(Row(key=key, data=dict(data)))
-        if order_by is not None:
-            rows.sort(key=lambda row: (row.get(order_by) is not None,
-                                       row.get(order_by), str(row.key)),
-                      reverse=descending)
-        else:
-            rows.sort(key=lambda row: str(row.key))
+        _order_rows(rows, order_by, descending)
         if limit is not None:
             rows = rows[:limit]
         return rows
@@ -120,7 +126,19 @@ class Transaction:
         return self.snapshot.read(table_name, key)
 
     def scan(self, table_name: str,
-             predicate: Predicate | None = None) -> list[Row]:
+             predicate: Predicate | None = None,
+             order_by: str | None = None,
+             descending: bool = False,
+             limit: int | None = None) -> list[Row]:
+        """Snapshot scan merged with this transaction's own writes.
+
+        Index-assisted exactly like :meth:`Snapshot.scan` (a predicate
+        pinning an indexed column to one value walks the index rather
+        than the whole table); ``limit`` applies *after* the merge so
+        own writes cannot be displaced by committed rows.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
         rows = {row.key: row
                 for row in self.snapshot.scan(table_name, predicate)}
         for (tname, key), data in self._writes.items():
@@ -132,7 +150,11 @@ class Transaction:
                 rows[key] = Row(key=key, data=dict(data))
             else:
                 rows.pop(key, None)
-        return sorted(rows.values(), key=lambda row: str(row.key))
+        merged = list(rows.values())
+        _order_rows(merged, order_by, descending)
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
 
     # ------------------------------------------------------------------
     # writes

@@ -57,6 +57,8 @@ class Table:
         self.primary_key = primary_key
         self._chains: dict[object, list[Version]] = {}
         self._indexes: dict[str, dict[object, set[object]]] = {}
+        #: Scans answered from a secondary index (observability/tests).
+        self.index_hits = 0
 
     # ------------------------------------------------------------------
     # schema
@@ -68,9 +70,12 @@ class Table:
             return
         index: dict[object, set[object]] = {}
         for key, chain in self._chains.items():
-            current = chain[-1]
-            if current.data is not None:
-                index.setdefault(current.data.get(column), set()).add(key)
+            # Every version's value, not just the current one: older
+            # snapshots may still see a value the row has since left.
+            for version in chain:
+                if version.data is not None:
+                    index.setdefault(version.data.get(column),
+                                     set()).add(key)
         self._indexes[column] = index
 
     @property
@@ -107,15 +112,16 @@ class Table:
 
     def _reindex(self, key: object, old: dict[str, object] | None,
                  new: dict[str, object] | None) -> None:
+        # Additive: a key is never removed from a bucket, so a bucket
+        # is a *superset* of the keys whose visible version matches at
+        # any timestamp.  Scans re-check visibility and the predicate,
+        # so a stale entry costs one lookup, never a wrong result —
+        # whereas removing on update would make older snapshots miss
+        # rows whose indexed value changed after their timestamp.
+        if new is None:
+            return
         for column, index in self._indexes.items():
-            if old is not None:
-                bucket = index.get(old.get(column))
-                if bucket is not None:
-                    bucket.discard(key)
-                    if not bucket:
-                        index.pop(old.get(column), None)
-            if new is not None:
-                index.setdefault(new.get(column), set()).add(key)
+            index.setdefault(new.get(column), set()).add(key)
 
     # ------------------------------------------------------------------
     # scans
@@ -126,11 +132,13 @@ class Table:
                 yield key
 
     def index_lookup(self, column: str, value: object) -> set[object]:
-        """Candidate keys whose *current* version matches (must recheck
-        visibility against the reader's snapshot)."""
+        """Candidate keys for which *some* version matches ``value``
+        (callers must recheck visibility + predicate at their
+        snapshot; the bucket may contain stale entries)."""
         index = self._indexes.get(column)
         if index is None:
             raise KeyError(f"no index on {self.name}.{column}")
+        self.index_hits += 1
         return set(index.get(value, ()))
 
     def __len__(self) -> int:

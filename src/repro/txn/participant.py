@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
-import copy
+import collections
 import typing
 
 from repro.actors.grain import Grain
+from repro.cow import CowState, materialize
 from repro.txn.context import TransactionContext
 from repro.txn.errors import TransactionAborted
 from repro.txn.locks import LockManager, LockMode
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime import Environment
+
+#: Commit-log entries retained per participant (bounded tail; the
+#: full per-outcome counts live in ``commits``/``aborts``/``prepares``).
+COMMIT_LOG_TAIL = 64
 
 
 class TransactionParticipant:
@@ -22,6 +27,13 @@ class TransactionParticipant:
     *outside* the grain's mailbox — exactly like Orleans' transaction
     agent — so a commit can never deadlock behind a queued grain call
     that is itself waiting for the commit's locks.
+
+    State is managed copy-on-write (:mod:`repro.cow`): reads hand out
+    an isolated :class:`~repro.cow.CowState` view in O(1), writes stage
+    a materialised version sharing untouched sub-trees with committed
+    state, and commit installs the staged version by reference.  The
+    committed tree is frozen by contract — it is only ever replaced,
+    never mutated in place.
     """
 
     def __init__(self, env: "Environment", identity: tuple[str, str],
@@ -34,21 +46,27 @@ class TransactionParticipant:
         self.committed_state: dict = initial_state or {}
         self._staged: dict[int, dict] = {}
         self._prepared: set[int] = set()
-        self.commit_log: list[tuple[float, int, str]] = []
+        #: Bounded tail of (time, txid, outcome) records; older entries
+        #: roll off but the counters below keep the full totals.
+        self.commit_log: collections.deque[tuple[float, int, str]] = \
+            collections.deque(maxlen=COMMIT_LOG_TAIL)
+        self.prepares = 0
+        self.commits = 0
+        self.aborts = 0
 
     # ------------------------------------------------------------------
     # data access (called from inside grain methods)
     # ------------------------------------------------------------------
     def read(self, ctx: TransactionContext):
-        """Process helper: S-lock and return a private copy of state."""
+        """Process helper: S-lock and return a private view of state."""
         if not ctx.is_active:
             raise TransactionAborted(
                 f"txn {ctx.txid} no longer active", reason="failure")
         yield from self.lock.acquire(ctx, LockMode.SHARED)
         ctx.register(self)
         if ctx.txid in self._staged:
-            return copy.deepcopy(self._staged[ctx.txid])
-        return copy.deepcopy(self.committed_state)
+            return CowState(self._staged[ctx.txid])
+        return CowState(self.committed_state)
 
     def write(self, ctx: TransactionContext, state: dict):
         """Process helper: X-lock and stage the new state."""
@@ -57,11 +75,11 @@ class TransactionParticipant:
                 f"txn {ctx.txid} no longer active", reason="failure")
         yield from self.lock.acquire(ctx, LockMode.EXCLUSIVE)
         ctx.register(self)
-        self._staged[ctx.txid] = copy.deepcopy(state)
+        self._staged[ctx.txid] = materialize(state)
 
-    def read_committed(self) -> dict:
+    def read_committed(self) -> CowState:
         """Lock-free read of the last committed state (non-txn callers)."""
-        return copy.deepcopy(self.committed_state)
+        return CowState(self.committed_state)
 
     def write_committed(self, state: dict) -> None:
         """Lock-free direct write (non-transactional replication paths).
@@ -70,7 +88,7 @@ class TransactionParticipant:
         primitive — e.g. event-driven replica maintenance — so the write
         bypasses locking exactly like the real system would.
         """
-        self.committed_state = copy.deepcopy(state)
+        self.committed_state = materialize(state)
 
     # ------------------------------------------------------------------
     # two-phase commit (called by the coordinator)
@@ -83,14 +101,20 @@ class TransactionParticipant:
             yield  # pragma: no cover - generator marker
         yield self.env.timeout(self.log_write_latency)
         self._prepared.add(ctx.txid)
+        self.prepares += 1
         self.commit_log.append((self.env.now, ctx.txid, "prepared"))
         return True
 
     def commit(self, ctx: TransactionContext):
-        """Process helper: install staged state, log, release locks."""
+        """Process helper: install staged state, log, release locks.
+
+        The staged version was materialised at write time, so the
+        install is a reference swap, not a copy.
+        """
         if ctx.txid in self._staged:
             self.committed_state = self._staged.pop(ctx.txid)
         yield self.env.timeout(self.log_write_latency)
+        self.commits += 1
         self.commit_log.append((self.env.now, ctx.txid, "committed"))
         self._prepared.discard(ctx.txid)
         self.lock.release(ctx)
@@ -99,6 +123,7 @@ class TransactionParticipant:
         """Discard staged state and release locks (no log force needed)."""
         self._staged.pop(ctx.txid, None)
         self._prepared.discard(ctx.txid)
+        self.aborts += 1
         self.commit_log.append((self.env.now, ctx.txid, "aborted"))
         self.lock.release(ctx)
 

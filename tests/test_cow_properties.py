@@ -1,0 +1,279 @@
+"""Property-based tests for the copy-on-write state engine.
+
+The engine's isolation contract is load-bearing for every app stack:
+a grain method mutating its read view must never leak into committed
+state, an aborted transaction's staging must vanish, and a commit must
+install exactly the staged version.  These properties are exercised
+over randomly generated JSON-ish state trees and random mutation
+programs, plus directly at the :class:`TransactionParticipant` level.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cow import (
+    CowList,
+    CowState,
+    clone,
+    materialize,
+    peek,
+    scan_items,
+    scan_values,
+)
+from repro.runtime import Environment
+from repro.txn.context import TransactionContext
+from repro.txn.participant import COMMIT_LOG_TAIL, TransactionParticipant
+
+# ---------------------------------------------------------------------------
+# strategies: plain-data state trees and mutation programs
+# ---------------------------------------------------------------------------
+
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(max_size=12),
+)
+
+trees = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.sets(st.integers(min_value=0, max_value=50), max_size=4),
+    ),
+    max_leaves=20,
+)
+
+states = st.dictionaries(st.text(max_size=6), trees, max_size=5)
+
+#: Trees without sets: reading a set through a view is conservatively
+#: counted as a write (a set copy cannot report mutation), so only
+#: set-free states satisfy the "clean reads share the base" property.
+setless_trees = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+setless_states = st.dictionaries(st.text(max_size=6), setless_trees,
+                                 max_size=5)
+
+#: A mutation step: (op, key, value).  Applied identically to the view
+#: and to a deep-copied reference dict, then compared.
+mutations = st.lists(
+    st.tuples(st.sampled_from(["set", "del", "nest", "append"]),
+              st.text(max_size=6), trees),
+    max_size=6,
+)
+
+
+def apply_program(target, program):
+    """Apply a mutation program to a mapping (view or plain dict)."""
+    for op, key, value in program:
+        if op == "set":
+            target[key] = value
+        elif op == "del":
+            target.pop(key, None)
+        elif op == "nest":
+            nested = target.get(key)
+            if isinstance(nested, (dict, CowState)):
+                nested["leaf"] = value
+            else:
+                target[key] = {"leaf": value}
+        elif op == "append":
+            nested = target.get(key)
+            if isinstance(nested, (list, CowList)):
+                nested.append(value)
+            else:
+                target[key] = [value]
+
+
+# ---------------------------------------------------------------------------
+# view isolation
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=120, deadline=None)
+@given(states, mutations)
+def test_view_mutation_never_leaks_into_base(base, program):
+    frozen = copy.deepcopy(base)
+    view = CowState(base)
+    apply_program(view, program)
+    assert base == frozen, "mutating a view must not touch its base"
+
+
+@settings(max_examples=120, deadline=None)
+@given(states, mutations)
+def test_view_equals_plain_dict_after_same_mutations(base, program):
+    reference = copy.deepcopy(base)
+    view = CowState(base)
+    apply_program(view, program)
+    apply_program(reference, program)
+    assert materialize(view) == reference
+
+
+@settings(max_examples=120, deadline=None)
+@given(states, mutations)
+def test_materialize_isolates_result_from_further_view_mutations(
+        base, program):
+    view = CowState(base)
+    apply_program(view, program)
+    installed = materialize(view)
+    snapshot = copy.deepcopy(installed)
+    # Mutations applied after materialize must not reach the result.
+    apply_program(view, [("set", key, "poison") for key in list(view)]
+                  or [("set", "k", "poison")])
+    view["fresh"] = ["poison"]
+    assert installed == snapshot
+
+
+@settings(max_examples=100, deadline=None)
+@given(setless_states)
+def test_clean_view_materializes_to_base_by_reference(base):
+    view = CowState(base)
+    # Reading (including nested reads) does not count as a change.
+    for key in list(view):
+        view[key]
+        list(scan_values(view))
+    assert materialize(view) is base
+
+
+@settings(max_examples=100, deadline=None)
+@given(states)
+def test_clone_is_fully_detached(base):
+    frozen = copy.deepcopy(base)
+    result = clone(CowState(base))
+    assert result == base
+    # Mutating the clone (including nested containers) leaves the
+    # source untouched — required where the clone is edited in place.
+    apply_program(result, [("set", "x", 1), ("nest", "y", 2)])
+    for value in result.values():
+        if isinstance(value, dict):
+            value["poison"] = True
+        elif isinstance(value, list):
+            value.append("poison")
+    assert base == frozen
+
+
+@settings(max_examples=100, deadline=None)
+@given(states)
+def test_scan_matches_view_iteration(base):
+    view = CowState(base)
+    assert dict(scan_items(view)) == materialize(view)
+    assert list(scan_values(view)) == list(
+        materialize(value) for value in view.values())
+    for key in base:
+        assert materialize(peek(view, key)) == materialize(view[key])
+
+
+@settings(max_examples=100, deadline=None)
+@given(states, mutations)
+def test_scan_observes_overlay_mutations(base, program):
+    view = CowState(base)
+    apply_program(view, program)
+    assert {key: materialize(value)
+            for key, value in scan_items(view)} == materialize(view)
+
+
+# ---------------------------------------------------------------------------
+# participant-level isolation (read / write / commit / abort)
+# ---------------------------------------------------------------------------
+
+def make_participant(initial):
+    env = Environment(seed=1)
+    participant = TransactionParticipant(
+        env, ("T", "k"), log_write_latency=0.001, initial_state=initial)
+    return env, participant
+
+
+def make_ctx(env):
+    return TransactionContext(env.now)
+
+
+def run_process(env, generator):
+    process = env.process(generator)
+    env.run(until=process)
+    return process.value
+
+
+@settings(max_examples=60, deadline=None)
+@given(states, mutations)
+def test_read_copy_mutation_never_leaks_into_committed(initial, program):
+    env, participant = make_participant(copy.deepcopy(initial))
+    ctx = make_ctx(env)
+
+    def txn():
+        state = yield from participant.read(ctx)
+        apply_program(state, program)
+        # No write: the mutated read copy is simply dropped.
+
+    run_process(env, txn())
+    assert participant.committed_state == initial
+
+
+@settings(max_examples=60, deadline=None)
+@given(states, mutations)
+def test_abort_discards_staging(initial, program):
+    env, participant = make_participant(copy.deepcopy(initial))
+    ctx = make_ctx(env)
+
+    def txn():
+        state = yield from participant.read(ctx)
+        apply_program(state, program)
+        yield from participant.write(ctx, state)
+
+    run_process(env, txn())
+    participant.abort(ctx)
+    assert participant.committed_state == initial
+    assert not participant._staged
+
+
+@settings(max_examples=60, deadline=None)
+@given(states, mutations)
+def test_commit_installs_exactly_the_staged_version(initial, program):
+    env, participant = make_participant(copy.deepcopy(initial))
+    ctx = make_ctx(env)
+
+    def txn():
+        state = yield from participant.read(ctx)
+        apply_program(state, program)
+        yield from participant.write(ctx, state)
+        staged = participant._staged[ctx.txid]
+        ok = yield from participant.prepare(ctx)
+        assert ok
+        yield from participant.commit(ctx)
+        return staged
+
+    staged = run_process(env, txn())
+    reference = copy.deepcopy(initial)
+    apply_program(reference, program)
+    assert participant.committed_state is staged
+    assert participant.committed_state == reference
+
+
+def test_commit_log_is_bounded_but_counters_are_not():
+    env, participant = make_participant({})
+    last_txid = None
+    for _ in range(3 * COMMIT_LOG_TAIL):
+        ctx = make_ctx(env)
+        last_txid = ctx.txid
+
+        def txn(ctx=ctx):
+            state = yield from participant.read(ctx)
+            state["n"] = ctx.txid
+            yield from participant.write(ctx, state)
+            yield from participant.prepare(ctx)
+            yield from participant.commit(ctx)
+
+        run_process(env, txn())
+    assert len(participant.commit_log) == COMMIT_LOG_TAIL
+    assert participant.commits == 3 * COMMIT_LOG_TAIL
+    assert participant.prepares == 3 * COMMIT_LOG_TAIL
+    assert participant.aborts == 0
+    # The tail keeps the most recent outcomes.
+    assert participant.commit_log[-1][1] == last_txid

@@ -222,3 +222,44 @@ def test_total_queued_reflects_backlog():
 def test_state_of_unknown_address_is_none():
     env, runtime = make_runtime()
     assert runtime.state_of("counter", "never") is None
+
+
+class SuspendingMutatorFn(StatefulFunction):
+    """Mutates state, suspends for simulated time, mutates again.
+
+    Regression shape for incremental checkpoints: a checkpoint taken
+    while the invocation is suspended must not permanently treat the
+    address as clean — the resumed body mutates the same state dict.
+    """
+
+    def invoke(self, context, payload):
+        def body():
+            context.state["phase"] = 1
+            yield context.runtime.env.timeout(payload["hold"])
+            context.state["phase"] = 2
+        return body()
+
+
+def test_checkpoint_spanning_suspended_function_keeps_address_dirty():
+    env, runtime = make_runtime()
+    runtime.register("mutator", SuspendingMutatorFn())
+    runtime.send_ingress("mutator", "m1", {"hold": 0.5})
+
+    def scenario():
+        # First checkpoint lands while the invocation is suspended
+        # (phase == 1 captured, dirty set cleared).
+        yield env.timeout(0.1)
+        yield from runtime.take_checkpoint()
+        assert runtime.state_of("mutator", "m1")["phase"] == 1
+        # The function resumes at t=0.5 and writes phase == 2; the
+        # second checkpoint must re-snapshot the address.
+        yield env.timeout(0.8)
+        yield from runtime.take_checkpoint()
+        # Recovery restores the latest checkpoint; replay starts past
+        # the ingress message, so the checkpoint alone must carry the
+        # post-resume mutation.
+        yield from runtime.inject_failure()
+
+    env.process(scenario())
+    env.run()
+    assert runtime.state_of("mutator", "m1")["phase"] == 2

@@ -266,6 +266,24 @@ class TestQueries:
         assert [row.key for row in new_rows] == [1]
         old_rows = snapshot.scan("orders", eq("seller", "zzz"))
         assert old_rows == []
+        # ... and must still FIND row 1 under its old value: the index
+        # is additive (a candidate superset), so a later commit cannot
+        # hide a row from an older snapshot (MVCC false negative).
+        assert {row.key for row in snapshot.scan("orders",
+                                                 eq("seller", "a"))} == {1, 2}
+
+    def test_txn_scan_index_respects_begin_snapshot(self, engine):
+        """A transaction's index-assisted scan sees its begin snapshot
+        even after a concurrent commit moves a row out of the bucket."""
+        self.setup_rows(engine)
+        engine.table("orders").create_index("status")
+        reader = engine.begin()
+        writer = engine.begin()
+        writer.update("orders", 1, {"status": "paid"})
+        writer.commit()
+        rows = reader.scan("orders", eq("status", "open"))
+        assert {row.key for row in rows} == {1, 3}
+        assert engine.table("orders").index_hits > 0
 
     def test_txn_scan_sees_own_writes(self, engine):
         self.setup_rows(engine)
