@@ -1,0 +1,87 @@
+"""M0 — experiment-matrix runner: parallel speedup and determinism.
+
+Like P0 this measures the harness, not the paper: an 8-cell matrix
+(2 scenarios × 2 apps × 2 seeds) is run serially and then across two
+worker processes.  The bench reports per-cell wall timings and the
+matrix-level speedup, and asserts the property the runner is built on:
+per-cell canonical output is byte-identical between the serial and
+parallel runs.  Speedup tracks physical core count — on a single-core
+runner the parallel pass just pays fork overhead, so the speedup
+floor is only asserted when at least two cores are available.
+
+Emits ``BENCH_M0_matrix.json`` at the repo root; CI uploads it with
+the other ``BENCH_*.json`` artifacts so the matrix wall-clock
+trajectory accumulates per-commit data points.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+from _harness import QUICK, print_table
+
+from repro.core.matrix import MatrixSpec, run_matrix
+
+#: Per-cell run length.  Quick mode shrinks cells so the CI smoke job
+#: stays fast; the cell count (8) is fixed either way.
+DURATION_SCALE = 0.05 if QUICK else 0.15
+WORKERS = 2
+
+SPEC = MatrixSpec(
+    scenarios=("baseline", "heavy-writer"),
+    apps=("orleans-eventual", "orleans-transactions"),
+    seeds=(7, 11),
+    duration_scale=DURATION_SCALE,
+)
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_M0_matrix.json"
+
+
+@pytest.mark.benchmark(group="m0-matrix")
+def test_m0_matrix_speedup(benchmark):
+    def measure():
+        serial = run_matrix(SPEC, workers=1)
+        parallel = run_matrix(SPEC, workers=WORKERS)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(measure, rounds=1,
+                                          iterations=1)
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    rows = []
+    for ours, theirs in zip(serial.cells, parallel.cells):
+        rows.append({
+            "cell": ours.cell.cell_id,
+            "serial_wall_s": round(ours.wall_s, 3),
+            "parallel_wall_s": round(theirs.wall_s, 3),
+            "status": theirs.status,
+            "identical": ours.canonical_json == theirs.canonical_json,
+        })
+    print_table(
+        f"M0: matrix speedup {speedup:.2f}x on {WORKERS} workers "
+        f"({len(rows)} cells, {os.cpu_count()} cores)", rows)
+
+    OUTPUT.write_text(json.dumps({
+        "bench": "m0_matrix",
+        "quick": QUICK,
+        "cells": len(rows),
+        "workers": WORKERS,
+        "cores": os.cpu_count(),
+        "serial_wall_s": round(serial.wall_s, 4),
+        "parallel_wall_s": round(parallel.wall_s, 4),
+        "speedup": round(speedup, 3),
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    assert len(rows) == 8
+    assert all(cell.ok for cell in serial.cells)
+    assert all(cell.ok for cell in parallel.cells)
+    # The foundation of the matrix runner: fanning cells across
+    # processes must not change a single byte of any cell's output.
+    assert all(row["identical"] for row in rows)
+    # Speedup needs physical parallelism; single-shot timings on
+    # shared CI are noisy, so assert a floor below the ~1.7x a quiet
+    # 2-core machine achieves.
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.2

@@ -6,6 +6,13 @@ from repro.analysis.availability import (
     availability_report,
     availability_rows,
 )
+from repro.analysis.matrix_report import (
+    availability_pct,
+    format_table,
+    matrix_report_json,
+    merge_cells,
+    render_matrix_report,
+)
 from repro.analysis.report import (
     criteria_rows,
     csv_table,
@@ -25,17 +32,22 @@ from repro.analysis.stats import (
 __all__ = [
     "AnomalyReport",
     "AvailabilityReport",
+    "availability_pct",
     "availability_report",
     "availability_rows",
     "criteria_rows",
     "csv_table",
     "describe",
     "experiment_report",
+    "format_table",
     "markdown_table",
+    "matrix_report_json",
     "mean",
+    "merge_cells",
     "metrics_rows",
     "percentile",
     "percentiles",
+    "render_matrix_report",
     "saturation_second",
     "timeline_rows",
 ]

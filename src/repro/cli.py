@@ -19,24 +19,40 @@ Replay a named open-loop scenario (run ``scenario --list`` for the
 catalogue)::
 
     python -m repro.cli scenario flash-sale --app orleans-eventual
+
+Reproduce the whole comparison surface — scenario × app × seed ×
+rate-scale cells fanned across worker processes, merged into one
+cross-app report::
+
+    python -m repro.cli matrix --workers 4 --seeds 1,2,3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import pathlib
 import sys
 import typing
 
 from repro.analysis.anomalies import AnomalyReport
 from repro.analysis.availability import availability_report
+from repro.analysis.matrix_report import (
+    matrix_report_json,
+    render_matrix_report,
+)
 from repro.apps import ALL_APPS, AppConfig
 from repro.core import (
     BenchmarkDriver,
     DriverConfig,
+    MatrixSpec,
     WorkloadConfig,
     audit_app,
+    run_matrix,
 )
 from repro.core.criteria import CRITERIA
+from repro.core.matrix import MatrixProgress
 from repro.core.scenarios import get_scenario, scenario_names
 from repro.core.workload.config import TransactionMix
 from repro.runtime import Environment
@@ -51,7 +67,8 @@ def _add_cluster_arguments(parser: argparse.ArgumentParser,
                         help="CPU cores per silo")
     parser.add_argument("--drop", type=float, default=0.0,
                         help="message-loss probability")
-    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulation + dataset RNG seed")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -279,32 +296,113 @@ def cmd_scenario(args: argparse.Namespace,
     return 0
 
 
+def _split_csv(values: typing.Sequence[str] | None) -> list[str]:
+    """Flatten repeatable, comma-separated flag values."""
+    if not values:
+        return []
+    return [item.strip() for value in values
+            for item in value.split(",") if item.strip()]
+
+
+def cmd_matrix(args: argparse.Namespace,
+               stream: typing.TextIO = sys.stdout) -> int:
+    scenarios = _split_csv(args.scenario) or scenario_names()
+    apps = _split_csv(args.app) or sorted(ALL_APPS)
+    try:
+        seeds = [int(seed) for seed in _split_csv(args.seeds)] or [42]
+        rate_scales = [float(scale)
+                       for scale in _split_csv(args.rate_scale)] or [1.0]
+        spec = MatrixSpec(scenarios=scenarios, apps=apps, seeds=seeds,
+                          rate_scales=rate_scales,
+                          duration_scale=args.duration_scale)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0]}", file=stream)
+        return 2
+    cells = spec.cells()
+    workers = args.workers or min(len(cells), os.cpu_count() or 1)
+    print(f"matrix: {len(cells)} cells "
+          f"({len(spec.scenarios)} scenarios x {len(spec.apps)} apps "
+          f"x {len(spec.seeds)} seeds x {len(spec.rate_scales)} "
+          f"rate-scales)  workers: {workers}", file=stream)
+    if args.dry_run:
+        for cell in cells:
+            print(f"  {cell.cell_id}", file=stream)
+        return 0
+
+    finished = [0]
+
+    def progress(event: MatrixProgress) -> None:
+        if event.kind == "start":
+            print(f"[{finished[0]:3d}/{event.total}] start "
+                  f"{event.cell.cell_id}", file=stream)
+            return
+        finished[0] += 1
+        result = event.result
+        tps = (f"{result.payload['total_tps']:,.1f} tx/s"
+               if result.ok else result.error)
+        print(f"[{finished[0]:3d}/{event.total}] {result.status:7s} "
+              f"{event.cell.cell_id}  {result.wall_s:.1f}s wall  {tps}",
+              file=stream)
+
+    result = run_matrix(spec, workers=workers,
+                        progress=None if args.quiet else progress)
+    print(file=stream)
+    print(render_matrix_report(result), end="", file=stream)
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(matrix_report_json(result),
+                                   indent=2) + "\n")
+        print(f"\nwrote {path}", file=stream)
+    return 0 if not result.failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Online Marketplace benchmark CLI")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
-        "run", help="run one implementation")
+        "run", help="closed-loop run of one implementation",
+        description="Run one implementation under the closed-loop "
+                    "driver (N workers submit, wait, repeat) and print "
+                    "its throughput/latency table and criteria audit.",
+        epilog="example: repro run --app orleans-transactions "
+               "--workers 32 --duration 3.0")
     run_parser.add_argument("--app", choices=sorted(ALL_APPS),
                             default="orleans-eventual")
     _add_common_arguments(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = subparsers.add_parser(
-        "compare", help="run all four implementations")
+        "compare",
+        help="closed-loop run of all four implementations",
+        description="Run every implementation under the same "
+                    "closed-loop configuration and print the "
+                    "throughput ranking plus the criteria matrix.",
+        epilog="example: repro compare --workers 32 --duration 2.0")
     _add_common_arguments(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
 
     audit_parser = subparsers.add_parser(
-        "audit", help="anomaly audit for one implementation")
+        "audit",
+        help="anomaly audit for one implementation",
+        description="Run one implementation, then normalise criteria "
+                    "violations to anomalies per 10k transactions. "
+                    "Exits non-zero when any criterion fails.",
+        epilog="example: repro audit --app orleans-eventual "
+               "--drop 0.02")
     audit_parser.add_argument("--app", choices=sorted(ALL_APPS),
                               default="orleans-eventual")
     _add_common_arguments(audit_parser)
     audit_parser.set_defaults(func=cmd_audit)
 
     scenario_parser = subparsers.add_parser(
-        "scenario", help="replay a named open-loop scenario")
+        "scenario", help="replay a named open-loop scenario",
+        description="Replay one scenario from the open-loop catalogue "
+                    "against one implementation; fault scenarios "
+                    "append an availability report.",
+        epilog="example: repro scenario flash-sale "
+               "--app orleans-eventual --rate-scale 0.5")
     scenario_parser.add_argument(
         "name", nargs="?", default=None,
         help="scenario name (omit or use --list for the catalogue)")
@@ -322,6 +420,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_arguments(scenario_parser, silos_default=None,
                            cores_default=None)
     scenario_parser.set_defaults(func=cmd_scenario)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix",
+        help="run a scenario x app x seed x rate-scale matrix "
+             "across worker processes",
+        description="Expand the scenario x app x seed x rate-scale "
+                    "cross product and run every cell (each a "
+                    "deterministic open-loop experiment) across a "
+                    "pool of worker processes, then print one merged "
+                    "cross-app report per scenario with seed-sweep "
+                    "error bars. A failed or crashed cell is recorded "
+                    "and the rest of the matrix keeps running; the "
+                    "exit status is non-zero when any cell failed.",
+        epilog="examples:\n"
+               "  repro matrix --workers 4 --seeds 1,2,3\n"
+               "  repro matrix --scenario baseline,flash-sale "
+               "--app orleans-eventual --rate-scale 0.5,1.0\n"
+               "  repro matrix --duration-scale 0.2 --dry-run",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    matrix_parser.add_argument(
+        "--scenario", action="append", metavar="NAME[,NAME...]",
+        help="scenario filter, repeatable or comma-separated "
+             "(default: the full catalogue)")
+    matrix_parser.add_argument(
+        "--app", action="append", metavar="NAME[,NAME...]",
+        help="implementation filter, repeatable or comma-separated "
+             "(default: all four)")
+    matrix_parser.add_argument(
+        "--seeds", action="append", metavar="N[,N...]",
+        help="seed sweep for error bars, e.g. 1,2,3 (default: 42)")
+    matrix_parser.add_argument(
+        "--rate-scale", action="append", metavar="X[,X...]",
+        help="arrival-rate multipliers, e.g. 0.5,1.0 (default: 1.0)")
+    matrix_parser.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="stretch/shrink every cell's time axis (shape-preserving)")
+    matrix_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 = one per CPU core, capped at the "
+             "cell count (cells are single-threaded, so more workers "
+             "than cores stops helping)")
+    matrix_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write per-cell payloads + merged tables as JSON")
+    matrix_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded cell list and exit")
+    matrix_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines")
+    matrix_parser.set_defaults(func=cmd_matrix)
     return parser
 
 

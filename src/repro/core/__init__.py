@@ -21,6 +21,15 @@ from repro.core.driver.metrics import (
     RunMetrics,
     StreamingHistogram,
 )
+from repro.core.matrix import (
+    CellResult,
+    MatrixCell,
+    MatrixProgress,
+    MatrixResult,
+    MatrixSpec,
+    run_cell,
+    run_matrix,
+)
 from repro.core.driver.open_loop import (
     HotspotSpec,
     OpenLoopConfig,
@@ -34,12 +43,17 @@ from repro.core.workload.generator import generate_dataset
 __all__ = [
     "ArrivalProcess",
     "BenchmarkDriver",
+    "CellResult",
     "ConstantRate",
     "CriteriaReport",
     "Dataset",
     "DriverConfig",
     "HotspotSpec",
     "LatencyRecorder",
+    "MatrixCell",
+    "MatrixProgress",
+    "MatrixResult",
+    "MatrixSpec",
     "OpenLoopConfig",
     "OpenLoopDriver",
     "PhasedArrivals",
@@ -55,4 +69,6 @@ __all__ = [
     "audit_app",
     "generate_dataset",
     "get_scenario",
+    "run_cell",
+    "run_matrix",
 ]

@@ -19,6 +19,10 @@ the drain — dropping those late finishers would censor exactly the
 worst-delayed transactions an overload experiment exists to observe.
 The drain must therefore be long enough for the backlog to clear;
 ``final_queue`` in the open-loop stats reports any remainder.
+
+``docs/metrics.md`` documents the metric semantics (histograms,
+channels, timelines) in operator terms; ``docs/scenarios.md`` catalogues
+the named arrival shapes built on this driver.
 """
 
 from __future__ import annotations

@@ -144,6 +144,9 @@ class Scenario:
                      rate_scale: float = 1.0,
                      duration_scale: float = 1.0,
                      data_seed: int = 0) -> OpenLoopDriver:
+        """A ready-to-run :class:`OpenLoopDriver` for this scenario:
+        fresh workload + scaled schedule against ``app``, dataset
+        seeded with ``data_seed``."""
         return OpenLoopDriver(
             env, app, self.workload(),
             self.build_config(rate_scale, duration_scale),

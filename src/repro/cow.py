@@ -44,6 +44,9 @@ The engine's contract ("frozen base") for state authors:
   e.g. ``participant.committed_state`` is read-only by contract.
 * Values must be plain data: dict/list/tuple/set/str/int/float/bool/
   bytes/None.  Unknown object types are treated as atoms and shared.
+
+The operator-facing version of this contract lives in
+``docs/architecture.md`` ("The CowState contract").
 """
 
 from __future__ import annotations

@@ -12,6 +12,19 @@ could be applied (a target may not exist — e.g. an app without an actor
 cluster — or may not expose the action); the analysis layer correlates
 this log with the per-second throughput/error timelines to compute
 availability windows and recovery times.
+
+Typical use (what the fault scenarios in ``core/scenarios.py`` do)::
+
+    schedule = FaultSchedule([
+        FaultEvent(at=3.0, action="crash_silo", target="silo-1"),
+        FaultEvent(at=5.0, action="add_silo"),
+    ])
+    schedule.install(env, app.cluster)   # fires on the sim clock
+    ...
+    schedule.log                         # what fired, what applied
+
+``docs/scenarios.md`` documents the shipped fault schedules and
+``docs/metrics.md`` the availability report computed from the log.
 """
 
 from __future__ import annotations

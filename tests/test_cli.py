@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -111,3 +112,59 @@ class TestScenarioCommand:
         assert "offered rate" in output
         assert "throughput timeline" in output
         assert "C1-atomicity" in output
+
+
+class TestMatrixCommand:
+    def test_dry_run_lists_cells_without_running(self):
+        stream = io.StringIO()
+        code = main(["matrix", "--scenario", "baseline,flash-sale",
+                     "--app", "orleans-eventual", "--seeds", "1,2",
+                     "--dry-run"], stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "matrix: 4 cells" in output
+        assert "baseline/orleans-eventual/s1/r1" in output
+        assert "flash-sale/orleans-eventual/s2/r1" in output
+
+    def test_matrix_defaults_cover_full_catalogue(self):
+        stream = io.StringIO()
+        code = main(["matrix", "--dry-run"], stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        # 9 scenarios x 4 apps x 1 seed x 1 rate scale.
+        assert "matrix: 36 cells" in output
+
+    def test_unknown_scenario_filter_rejected(self):
+        stream = io.StringIO()
+        code = main(["matrix", "--scenario", "mystery", "--dry-run"],
+                    stream=stream)
+        assert code == 2
+        assert "unknown scenario" in stream.getvalue()
+
+    def test_matrix_runs_and_prints_merged_report(self, tmp_path):
+        out = tmp_path / "matrix.json"
+        stream = io.StringIO()
+        code = main(["matrix", "--scenario", "baseline",
+                     "--app", "orleans-eventual,statefun",
+                     "--seeds", "1", "--duration-scale", "0.05",
+                     "--workers", "1", "--json", str(out)],
+                    stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "scenario: baseline" in output
+        assert "ok: 2" in output
+        assert "checkout p50 ms" in output
+        blob = json.loads(out.read_text())
+        assert blob["ok"] == 2
+        assert blob["tables"]["baseline"][0]["seeds"] == 1
+
+    def test_matrix_parallel_progress_lines(self):
+        stream = io.StringIO()
+        code = main(["matrix", "--scenario", "baseline",
+                     "--app", "orleans-eventual", "--seeds", "1,2",
+                     "--duration-scale", "0.05", "--workers", "2"],
+                    stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "start baseline/orleans-eventual/s1/r1" in output
+        assert output.count("] ok") == 2

@@ -1,0 +1,24 @@
+"""Docs hygiene: every relative link in README.md and docs/ resolves.
+
+Runs the same script the CI lint job runs (``tools/check_links.py``)
+so a broken link fails locally before it fails in CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_readme_and_docs_links_resolve():
+    completed = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_links.py")],
+        capture_output=True, text=True, check=False)
+    assert completed.returncode == 0, completed.stdout
+
+
+def test_docs_tree_present():
+    # The operator documentation the README links out to.
+    for name in ("architecture.md", "scenarios.md", "metrics.md"):
+        assert (ROOT / "docs" / name).exists(), f"docs/{name} missing"

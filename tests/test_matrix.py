@@ -1,0 +1,282 @@
+"""Tests for the experiment-matrix spec, runner and merged report.
+
+Covers the three properties the matrix runner exists to provide:
+
+* deterministic spec expansion (filters, seed sweeps, fixed order);
+* worker-crash isolation — one poisoned cell (raising *or* killing
+  its worker process outright) is recorded while the rest of the
+  matrix completes;
+* determinism — a 2-worker matrix produces per-cell canonical output
+  byte-identical to the serial run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.matrix_report import (
+    availability_pct,
+    merge_cells,
+    render_matrix_report,
+)
+from repro.core.matrix import (
+    CellResult,
+    MatrixCell,
+    MatrixResult,
+    MatrixSpec,
+    run_cell,
+    run_matrix,
+)
+
+#: Small enough to run in-process in well under a second per cell.
+TINY = dict(scenarios=("baseline",), apps=("orleans-eventual",),
+            seeds=(1,), duration_scale=0.05)
+
+
+class TestSpecExpansion:
+    def test_cross_product_order_and_count(self):
+        spec = MatrixSpec(
+            scenarios=("baseline", "heavy-writer"),
+            apps=("orleans-eventual", "statefun"),
+            seeds=(1, 2), rate_scales=(0.5, 1.0))
+        cells = spec.cells()
+        assert len(cells) == len(spec) == 2 * 2 * 2 * 2
+        # Fixed order: scenarios, then apps, then seeds, then rates.
+        assert cells[0] == MatrixCell("baseline", "orleans-eventual",
+                                      1, 0.5)
+        assert cells[1].rate_scale == 1.0
+        assert cells[-1] == MatrixCell("heavy-writer", "statefun",
+                                       2, 1.0)
+
+    def test_cell_id_is_stable_and_readable(self):
+        cell = MatrixCell("flash-sale", "statefun", 7, 0.5)
+        assert cell.cell_id == "flash-sale/statefun/s7/r0.5"
+
+    def test_full_covers_the_whole_catalogue(self):
+        from repro.apps import ALL_APPS
+        from repro.core.scenarios import scenario_names
+        spec = MatrixSpec.full(seeds=(1, 2))
+        assert spec.scenarios == tuple(scenario_names())
+        assert spec.apps == tuple(sorted(ALL_APPS))
+        assert len(spec) == len(scenario_names()) * len(ALL_APPS) * 2
+
+    def test_unknown_scenario_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            MatrixSpec(scenarios=("no-such",),
+                       apps=("orleans-eventual",))
+
+    def test_unknown_app_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            MatrixSpec(scenarios=("baseline",), apps=("mystery",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(scenarios=(), apps=("orleans-eventual",))
+        with pytest.raises(ValueError):
+            MatrixSpec(scenarios=("baseline",),
+                       apps=("orleans-eventual",), seeds=())
+
+    def test_bad_scales_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(scenarios=("baseline",),
+                       apps=("orleans-eventual",), rate_scales=(0.0,))
+        with pytest.raises(ValueError):
+            MatrixSpec(scenarios=("baseline",),
+                       apps=("orleans-eventual",), duration_scale=-1.0)
+
+    def test_sequences_normalised_to_tuples(self):
+        spec = MatrixSpec(scenarios=["baseline"],
+                          apps=["orleans-eventual"], seeds=[1, 2])
+        assert spec.scenarios == ("baseline",)
+        assert spec.seeds == (1, 2)
+
+
+def _ok_stub(cell):
+    return CellResult(cell=cell, status="ok", wall_s=0.0,
+                      payload={"cell": cell.as_dict(), "marker": 1})
+
+
+def _raise_on_statefun(cell):
+    if cell.app == "statefun":
+        raise ValueError("poisoned cell")
+    return _ok_stub(cell)
+
+
+def _exit_on_statefun(cell):
+    if cell.app == "statefun":
+        os._exit(13)  # hard crash: bypasses exception handling
+    return _ok_stub(cell)
+
+
+def _three_cells():
+    return [MatrixCell("baseline", "orleans-eventual", 1),
+            MatrixCell("baseline", "statefun", 1),
+            MatrixCell("baseline", "customized-orleans", 1)]
+
+
+class TestRunnerIsolation:
+    def test_serial_records_raise_and_continues(self):
+        result = run_matrix(_three_cells(), workers=1,
+                            cell_fn=_raise_on_statefun)
+        statuses = [cell.status for cell in result.cells]
+        assert statuses == ["ok", "failed", "ok"]
+        assert "poisoned cell" in result.cells[1].error
+        assert len(result.failures) == 1
+
+    def test_parallel_records_raise_and_continues(self):
+        result = run_matrix(_three_cells(), workers=2,
+                            cell_fn=_raise_on_statefun)
+        statuses = [cell.status for cell in result.cells]
+        assert statuses == ["ok", "failed", "ok"]
+
+    def test_worker_process_crash_is_isolated(self):
+        # The poisoned cell kills its whole worker process; the runner
+        # must record the crash (exit code preserved) and still finish
+        # every other cell.
+        result = run_matrix(_three_cells(), workers=2,
+                            cell_fn=_exit_on_statefun)
+        statuses = [cell.status for cell in result.cells]
+        assert statuses == ["ok", "crashed", "ok"]
+        assert "13" in result.cells[1].error
+        assert result.cells[1].payload is None
+
+    def test_progress_streams_start_and_done_per_cell(self):
+        events = []
+        result = run_matrix(_three_cells(), workers=2,
+                            cell_fn=_ok_stub, progress=events.append)
+        assert len(result.completed) == 3
+        kinds = [event.kind for event in events]
+        assert kinds.count("start") == 3 and kinds.count("done") == 3
+        done = [event for event in events if event.kind == "done"]
+        assert all(event.result is not None for event in done)
+        assert {event.index for event in events} == {0, 1, 2}
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            run_matrix(_three_cells(), workers=0)
+
+
+class TestDeterminism:
+    def test_two_worker_matrix_matches_serial_bit_for_bit(self):
+        spec = MatrixSpec(scenarios=("baseline",),
+                          apps=("orleans-eventual", "statefun"),
+                          seeds=(1, 2), duration_scale=0.05)
+        serial = run_matrix(spec, workers=1)
+        parallel = run_matrix(spec, workers=2)
+        assert all(cell.ok for cell in serial.cells)
+        assert all(cell.ok for cell in parallel.cells)
+        for ours, theirs in zip(serial.cells, parallel.cells):
+            assert ours.cell == theirs.cell
+            assert ours.canonical_json == theirs.canonical_json
+
+    def test_payload_has_no_wall_clock_fields(self):
+        result = run_cell(MatrixCell(**{
+            "scenario": "baseline", "app": "orleans-eventual",
+            "seed": 1, "duration_scale": 0.05}))
+        assert result.ok
+        assert "wall" not in result.canonical_json
+        # Wall time lives on the result, outside the canonical payload.
+        assert result.wall_s > 0
+
+    def test_run_cell_converts_raise_to_failed(self):
+        # An impossible cell (unknown scenario sneaks past the spec,
+        # e.g. hand-built) fails gracefully instead of raising.
+        result = run_cell(MatrixCell("no-such", "orleans-eventual", 1))
+        assert result.status == "failed"
+        assert "no-such" in result.error
+
+
+def _payload(app, tps, p50, criteria_passed=5, availability=None,
+             duration=5.0):
+    criteria = {f"C{index}": {"passed": index <= criteria_passed,
+                              "violations": 0, "checked": 1}
+                for index in range(1, 6)}
+    return {
+        "cell": {"scenario": "baseline", "app": app, "seed": 1,
+                 "rate_scale": 1.0, "duration_scale": 1.0},
+        "duration": duration,
+        "total_tps": tps,
+        "ops": [{"operation": "checkout", "p50_ms": p50,
+                 "p99_ms": p50 * 2}],
+        "open_loop": {},
+        "criteria": criteria,
+        "availability": availability,
+    }
+
+
+def _result(scenario, app, seed, payload, status="ok"):
+    cell = MatrixCell(scenario, app, seed)
+    return CellResult(cell=cell, status=status, wall_s=0.1,
+                      payload=payload if status == "ok" else None,
+                      error="" if status == "ok" else "boom")
+
+
+class TestMergedReport:
+    def test_seed_sweep_mean_and_error_bars(self):
+        cells = [
+            _result("baseline", "statefun", 1,
+                    _payload("statefun", 100.0, 4.0)),
+            _result("baseline", "statefun", 2,
+                    _payload("statefun", 200.0, 6.0)),
+        ]
+        tables = merge_cells(cells)
+        (row,) = tables["baseline"]
+        assert row["seeds"] == 2
+        assert row["tps"] == 150.0
+        assert row["tps_sd"] == round(70.7, 1)  # sample stdev
+        assert row["checkout_p50_ms"] == 5.0
+        assert row["criteria"] == "5/5"
+
+    def test_failed_cells_counted_not_aggregated(self):
+        cells = [
+            _result("baseline", "statefun", 1,
+                    _payload("statefun", 100.0, 4.0)),
+            _result("baseline", "statefun", 2, None, status="crashed"),
+        ]
+        (row,) = merge_cells(cells)["baseline"]
+        assert row["seeds"] == 1 and row["failed"] == 1
+        assert row["tps"] == 100.0
+
+    def test_worst_seed_criteria_reported(self):
+        cells = [
+            _result("baseline", "statefun", 1,
+                    _payload("statefun", 100.0, 4.0,
+                             criteria_passed=5)),
+            _result("baseline", "statefun", 2,
+                    _payload("statefun", 100.0, 4.0,
+                             criteria_passed=3)),
+        ]
+        (row,) = merge_cells(cells)["baseline"]
+        assert row["criteria"] == "3/5"
+
+    def test_availability_pct_from_fault_summary(self):
+        clean = _payload("statefun", 100.0, 4.0)
+        assert availability_pct(clean) == 100.0
+        faulty = _payload("statefun", 100.0, 4.0,
+                          availability={"unavailable_seconds": 2},
+                          duration=5.0)
+        assert availability_pct(faulty) == 60.0
+
+    def test_render_report_lists_failures(self):
+        cells = [
+            _result("baseline", "statefun", 1,
+                    _payload("statefun", 100.0, 4.0)),
+            _result("baseline", "orleans-eventual", 1, None,
+                    status="crashed"),
+        ]
+        result = MatrixResult(cells=cells, workers=2, wall_s=1.0)
+        text = render_matrix_report(result)
+        assert "scenario: baseline" in text
+        assert "failed cells:" in text
+        assert "baseline/orleans-eventual/s1/r1" in text
+
+    def test_report_json_round_trips(self):
+        cells = [_result("baseline", "statefun", 1,
+                         _payload("statefun", 100.0, 4.0))]
+        result = MatrixResult(cells=cells, workers=1, wall_s=0.5)
+        from repro.analysis.matrix_report import matrix_report_json
+        blob = json.loads(json.dumps(matrix_report_json(result)))
+        assert blob["ok"] == 1 and blob["workers"] == 1
+        assert blob["tables"]["baseline"][0]["app"] == "statefun"
+        assert blob["cells"][0]["payload"]["total_tps"] == 100.0
