@@ -31,6 +31,10 @@ SCALES = (0.05, 0.2, 0.5) if not QUICK else (0.05, 0.2)
 APP = "orleans-transactions"
 OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_P0_hotpath.json"
+#: Committed before/after reference for the kernel optimisation
+#: rounds; echoed into the artifact so a downloaded snapshot is
+#: self-describing (the artifact itself is git-ignored).
+BASELINE = pathlib.Path(__file__).resolve().parent / "perf_baseline.json"
 
 
 def run_cell(duration_scale: float, seed: int = 7) -> dict:
@@ -59,11 +63,18 @@ def test_p0_hotpath_scaling(benchmark):
         rounds=1, iterations=1)
     print_table(f"P0: hot-path throughput per wall-second ({APP})", rows)
 
+    baseline = json.loads(BASELINE.read_text())
     OUTPUT.write_text(json.dumps({
         "bench": "p0_hotpath",
         "app": APP,
         "quick": QUICK,
         "rows": rows,
+        "reference": {
+            "recorded": baseline["recorded"],
+            "p0_hotpath": baseline["p0_hotpath"],
+            "floor_events_per_wall_s":
+                baseline["floor"]["floor_events_per_wall_s"],
+        },
     }, indent=2) + "\n")
 
     for row in rows:

@@ -1,0 +1,125 @@
+"""P1 — kernel micro-benchmark: pure event churn, no application code.
+
+P0 measures the simulator end-to-end (app + txn + actor layers on top
+of the kernel); after the copy-on-write engine those upper layers
+dominate, so kernel changes barely move P0.  P1 isolates the kernel:
+each cell drives the event loop with a synthetic pattern and nothing
+else, so the events/s numbers here are the kernel's own ceiling and
+respond directly to timeline/pooling work.
+
+Cells
+-----
+``timeout_storm``
+    One process yielding fixed-delay timeouts — the steady heap path.
+``same_tick_fanout``
+    Bursts of zero-delay timeouts joined by ``all_of`` — the same-tick
+    bucket plus condition machinery.
+``call_after_storm``
+    Pooled ``call_after`` transit callbacks — the message hot path; the
+    pool hit rate is reported (and asserted) here.
+``process_churn``
+    Spawn-and-finish of short-lived processes — pooled init events and
+    process bootstrap cost.
+
+Emits ``BENCH_P1_kernel.json`` at the repo root; CI uploads it with the
+other ``BENCH_*.json`` artifacts.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+from _harness import QUICK, print_table
+
+from repro.runtime import Environment
+
+#: Events per cell.  Quick mode shrinks the cells; every pattern still
+#: runs in full.
+N = 60_000 if QUICK else 240_000
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_P1_kernel.json"
+
+
+def _measure(name: str, env: Environment, build) -> dict:
+    build(env)
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    acquires = env.pool_acquires
+    return {
+        "cell": name,
+        "wall_s": round(wall, 4),
+        "kernel_events": env.events_processed,
+        "events_per_wall_s": round(env.events_processed / wall, 1),
+        "pool_hit_rate": (round(env.pool_hits / acquires, 4)
+                          if acquires else None),
+    }
+
+
+def timeout_storm(env: Environment) -> None:
+    def body():
+        for _ in range(N):
+            yield env.timeout(0.001)
+    env.process(body())
+
+
+def same_tick_fanout(env: Environment) -> None:
+    def body():
+        for _ in range(N // 100):
+            yield env.all_of([env.timeout(0.0) for _ in range(100)])
+    env.process(body())
+
+
+def call_after_storm(env: Environment) -> None:
+    def noop(_event):
+        pass
+
+    def body():
+        for _ in range(N // 2):
+            env.call_after(0.001, noop)
+            yield env.timeout(0.001)
+    env.process(body())
+
+
+def process_churn(env: Environment) -> None:
+    def leaf():
+        yield env.timeout(0.0005)
+
+    def body():
+        for _ in range(N // 4):
+            yield env.process(leaf())
+    env.process(body())
+
+
+CELLS = (
+    ("timeout_storm", timeout_storm),
+    ("same_tick_fanout", same_tick_fanout),
+    ("call_after_storm", call_after_storm),
+    ("process_churn", process_churn),
+)
+
+
+@pytest.mark.benchmark(group="p1-kernel")
+def test_p1_kernel_churn(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_measure(name, Environment(seed=1), build)
+                 for name, build in CELLS],
+        rounds=1, iterations=1)
+    print_table("P1: kernel event churn (no application code)", rows)
+
+    OUTPUT.write_text(json.dumps({
+        "bench": "p1_kernel",
+        "quick": QUICK,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    for row in rows:
+        assert row["events_per_wall_s"] > 0
+    by_cell = {row["cell"]: row for row in rows}
+    # The free-list must actually serve the transit path: after warm-up
+    # every call_after acquire is a recycled event.
+    assert by_cell["call_after_storm"]["pool_hit_rate"] > 0.99
+    # Process bootstrap events are pooled too.
+    assert by_cell["process_churn"]["pool_hit_rate"] > 0.99

@@ -106,6 +106,19 @@ class Cluster:
         self.broker = broker or Broker(env)
         self.placement = ConsistentHashPlacement()
         self.directory = GrainDirectory()
+        # Steady-state routing cache: (type_name, key) -> live silo.
+        # Cleared wholesale when the placement epoch moves; invalidated
+        # per-grain by the directory on register/unregister/drop (grain
+        # adoption after migration re-registers *without* an epoch
+        # bump, so the per-key hook is load-bearing, not an optimisation).
+        self._route_cache: dict[tuple[str, str], Silo] = {}
+        self._route_cache_epoch = 0
+        _cache = self._route_cache
+        self.directory.on_change = lambda ident: _cache.pop(ident, None)
+        #: Cache telemetry for the kernel micro-benchmark (kept out of
+        #: membership_stats so reported payloads are unchanged).
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
         self.silos: list[Silo] = []
         self._silo_ids = 0
         for _ in range(self.config.silos):
@@ -368,11 +381,32 @@ class Cluster:
     def _target_for(self, ref: GrainRef) -> Silo:
         """Where to route a message: the directory pins routing to the
         live activation (Orleans grain-directory semantics); the ring
-        decides only for grains without one.  May raise NoLiveSilos."""
+        decides only for grains without one.  May raise NoLiveSilos.
+
+        The answer is cached per (grain, placement epoch): within an
+        epoch it can only change through a directory mutation, and the
+        directory's ``on_change`` hook evicts the affected grain.  The
+        liveness re-check on hits means a dying silo is never served
+        from cache in a state the uncached path would not also return.
+        """
+        ident = (ref.type_name, ref.key)
+        epoch = self.placement.epoch
+        cache = self._route_cache
+        if epoch != self._route_cache_epoch:
+            cache.clear()
+            self._route_cache_epoch = epoch
+        cached = cache.get(ident)
+        if cached is not None and cached.alive:
+            self.route_cache_hits += 1
+            return cached
+        self.route_cache_misses += 1
         entry = self.directory.lookup(ref.type_name, ref.key)
         if entry is not None and entry.silo.alive:
+            cache[ident] = entry.silo
             return entry.silo
-        return self.placement.place(ref.type_name, ref.key)
+        target = self.placement.place(ref.type_name, ref.key)
+        cache[ident] = target
+        return target
 
     def activation_of(self, ref: GrainRef):
         """The live activation behind ``ref`` (creating it if needed)."""
@@ -427,13 +461,13 @@ class Cluster:
             return
         message.reply_latency = latency
 
-        # A raw timeout callback, not a process: message transit has no
-        # body to suspend, and a full Process costs two extra events
-        # per hop on the hottest path in the simulator.
+        # A raw pooled-event callback, not a process: message transit
+        # has no body to suspend, and a full Process costs two extra
+        # events per hop on the hottest path in the simulator.
         def deliver(_event, ref=ref, message=message, target=target):
             self._deliver(ref, message, target)
 
-        self.env.timeout(latency).callbacks.append(deliver)
+        self.env.call_after(latency, deliver)
 
     def _deliver(self, ref: GrainRef, message: Message,
                  target: Silo) -> None:
@@ -474,7 +508,7 @@ class Cluster:
         def fail_later(_event):
             if not message.promise.triggered:
                 message.promise.fail(error)
-        self.env.timeout(delay).callbacks.append(fail_later)
+        self.env.call_after(delay, fail_later)
 
     def track_oneway(self, promise: "Event") -> None:
         """Silence failures of fire-and-forget calls (they are 'lost')."""

@@ -104,6 +104,13 @@ class GrainDirectory:
     def __init__(self) -> None:
         self._entries: dict[tuple[str, str], DirectoryEntry] = {}
         self._lost: set[tuple[str, str]] = set()
+        #: Invalidation hook called with each (type_name, key) whose
+        #: entry changes.  The cluster points this at its routing cache:
+        #: register/unregister/drop happen without an epoch bump (e.g. a
+        #: migrated grain being adopted by its new owner), so epoch
+        #: checks alone cannot keep a routing cache coherent.
+        self.on_change: typing.Callable[[tuple[str, str]], object] | None = (
+            None)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -112,9 +119,13 @@ class GrainDirectory:
                  epoch: int) -> None:
         self._entries[(type_name, key)] = DirectoryEntry(silo, epoch)
         self._lost.discard((type_name, key))
+        if self.on_change is not None:
+            self.on_change((type_name, key))
 
     def unregister(self, type_name: str, key: str) -> None:
         self._entries.pop((type_name, key), None)
+        if self.on_change is not None:
+            self.on_change((type_name, key))
 
     def drop_silo(self, silo: "Silo") -> list[tuple[str, str]]:
         """Remove every entry hosted on ``silo`` (crash path); the
@@ -124,6 +135,9 @@ class GrainDirectory:
         for ident in dropped:
             del self._entries[ident]
             self._lost.add(ident)
+        if self.on_change is not None:
+            for ident in dropped:
+                self.on_change(ident)
         return dropped
 
     def lookup(self, type_name: str, key: str) -> DirectoryEntry | None:

@@ -28,6 +28,7 @@ import dataclasses
 import inspect
 import itertools
 import typing
+from types import GeneratorType as _GeneratorType
 
 from repro.actors.errors import GrainCallError, SiloUnavailable
 from repro.runtime.resources import Resource
@@ -171,8 +172,11 @@ class Activation:
                 continue
             message = self.mailbox.popleft()
             if self.grain.reentrant:
+                # The method name alone is enough to identify the
+                # process in error messages; formatting grain reprs
+                # here costs more than the rest of the spawn.
                 self.env.process(self._execute(message),
-                                 name=f"exec:{self.grain!r}.{message.method}")
+                                 name=message.method)
             else:
                 yield from self._execute(message)
 
@@ -197,7 +201,7 @@ class Activation:
         grain.current_txn = message.txn
         try:
             result = method(*message.args, **message.kwargs)
-            if inspect.isgenerator(result):
+            if type(result) is _GeneratorType:
                 result = yield from self._drive(result, message)
         except BaseException as exc:  # noqa: BLE001 - forwarded to caller
             grain.current_txn = None
@@ -257,8 +261,9 @@ class Activation:
                 message.promise.fail(error)
             else:
                 message.promise.succeed(result)
-        # Raw timeout callback: a reply in flight has no process body.
-        self.env.timeout(message.reply_latency).callbacks.append(deliver)
+        # Raw pooled-event callback: a reply in flight has no process
+        # body (see Cluster._route).
+        self.env.call_after(message.reply_latency, deliver)
 
 
 class Silo:

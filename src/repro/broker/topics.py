@@ -56,9 +56,10 @@ class Subscription:
     def offer(self, envelope: EventEnvelope, latency: float) -> None:
         """Route ``envelope`` to this subscriber according to the mode."""
         if self.mode is DeliveryMode.UNORDERED:
-            # Raw timeout callback: unordered delivery has no process
-            # body to suspend (see Cluster._route for the rationale).
-            self.env.timeout(latency).callbacks.append(
+            # Raw pooled-event callback: unordered delivery has no
+            # process body to suspend (see Cluster._route).
+            self.env.call_after(
+                latency,
                 lambda _event, envelope=envelope: self._invoke(envelope))
         else:
             queue = self._key_queues[envelope.key]

@@ -66,16 +66,22 @@ def update_entry_status(state: dict, order_id: str, status: str,
     return new_state
 
 
+def _iter_entries(state: dict):
+    """Copy-free read-only iteration over the dashboard entries."""
+    entries = peek(state, "entries")
+    if type(entries) is dict:
+        return entries.values()
+    return scan_values(entries)
+
+
 def dashboard_amount(state: dict) -> int:
     """Query 1: financial amount of orders in progress."""
-    return sum(entry["amount_cents"]
-               for entry in scan_values(peek(state, "entries")))
+    return sum(entry["amount_cents"] for entry in _iter_entries(state))
 
 
 def dashboard_entries(state: dict) -> list[dict]:
     """Query 2: the tuples behind query 1 (sorted for determinism).
 
     Entries are copied on the way out (the scan yields frozen state)."""
-    return sorted((dict(entry) for entry in scan_values(
-                       peek(state, "entries"))),
+    return sorted((dict(entry) for entry in _iter_entries(state)),
                   key=lambda entry: entry["order_id"])

@@ -50,19 +50,36 @@ def create_shipment(state: dict, order_id: str, customer_id: int,
     return new_state, shipment
 
 
+def _iter_packages(state: dict):
+    """Yield every package dict in the partition, copy-free.
+
+    Read-only scan over the whole partition: peek/scan_values walk the
+    frozen state directly instead of wrapping every shipment and
+    package in a copy-on-write view just to compare atoms.  Untouched
+    sub-trees are plain dicts, so the common all-clean case iterates
+    raw dict values with no generator helpers in between.
+    """
+    shipments = peek(state, "shipments")
+    ship_iter = (shipments.values() if type(shipments) is dict
+                 else scan_values(shipments))
+    for shipment in ship_iter:
+        packages = peek(shipment, "packages")
+        if type(packages) is dict:
+            yield from packages.values()
+        else:
+            yield from scan_values(packages)
+
+
 def undelivered_seller_times(state: dict) -> list[tuple[int, float]]:
     """(seller, earliest undelivered ship time) pairs for this partition."""
     first_seen: dict[int, float] = {}
-    # Read-only scan over the whole partition: peek/scan_values walk
-    # the frozen state directly instead of wrapping every shipment and
-    # package in a copy-on-write view just to compare atoms.
-    for shipment in scan_values(peek(state, "shipments")):
-        for package in scan_values(peek(shipment, "packages")):
-            if package["status"] != PackageStatus.DELIVERED:
-                seller = package["seller_id"]
-                when = package["shipped_at"]
-                if seller not in first_seen or when < first_seen[seller]:
-                    first_seen[seller] = when
+    delivered = PackageStatus.DELIVERED
+    for package in _iter_packages(state):
+        if package["status"] != delivered:
+            seller = package["seller_id"]
+            when = package["shipped_at"]
+            if seller not in first_seen or when < first_seen[seller]:
+                first_seen[seller] = when
     return sorted(first_seen.items(), key=lambda item: (item[1], item[0]))
 
 
@@ -76,12 +93,12 @@ def oldest_undelivered_package(state: dict,
                                seller_id: int) -> dict | None:
     """The seller's oldest package not yet delivered (or None)."""
     best = None
-    for shipment in scan_values(peek(state, "shipments")):
-        for package in scan_values(peek(shipment, "packages")):
-            if (package["seller_id"] == seller_id
-                    and package["status"] != PackageStatus.DELIVERED):
-                if best is None or package["shipped_at"] < best["shipped_at"]:
-                    best = package
+    delivered = PackageStatus.DELIVERED
+    for package in _iter_packages(state):
+        if (package["seller_id"] == seller_id
+                and package["status"] != delivered):
+            if best is None or package["shipped_at"] < best["shipped_at"]:
+                best = package
     # The winner may be a frozen committed package: hand back a copy so
     # callers cannot reach engine-owned state through the result.
     return dict(best) if best is not None else None

@@ -4,14 +4,33 @@
 binary heap keyed by ``(time, priority, sequence)``; the sequence number
 makes the ordering total and therefore the whole simulation
 deterministic for a given seed.
+
+Two hot-path structures sit in front of the heap without changing that
+total order (see ``docs/performance.md``):
+
+* a *same-tick bucket* — zero-delay, normal-priority schedules go to a
+  FIFO deque instead of the heap, because they can only ever fire at the
+  current time; the dispatch loop interleaves bucket and heap strictly
+  by ``(time, priority, sequence)``;
+* an *event free-list* — short-lived kernel events (message transit,
+  process bootstrap) are :class:`~repro.runtime.events.PooledEvent`
+  instances recycled after their callbacks run.
 """
 
 from __future__ import annotations
 
+import collections
 import heapq
 import typing
 
-from repro.runtime.events import AllOf, AnyOf, Event, Timeout
+from repro.runtime.events import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    PooledEvent,
+    Timeout,
+)
 from repro.runtime.process import Interrupt, Process
 from repro.runtime.rng import SeedSequenceFactory
 
@@ -19,6 +38,10 @@ __all__ = ["Environment", "Interrupt", "SimulationError"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+#: Upper bound on the event free-list; beyond this, released events are
+#: simply dropped for the garbage collector.
+_POOL_MAX = 1024
 
 
 class SimulationError(Exception):
@@ -42,6 +65,12 @@ class Environment:
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Same-tick fast path: ``(seq, event)`` pairs for zero-delay,
+        #: normal-priority schedules.  Entries can only fire at the
+        #: current time, so FIFO order *is* sequence order and no heap
+        #: sifting is needed.
+        self._bucket: collections.deque[tuple[int, Event]] = (
+            collections.deque())
         self._seq = 0
         self._active_process: Process | None = None
         self._seeds = SeedSequenceFactory(seed)
@@ -49,6 +78,10 @@ class Environment:
         #: Events processed so far — the kernel's unit of work, used by
         #: the hot-path benchmark to report events per wall-second.
         self.events_processed = 0
+        self._pool: list[PooledEvent] = []
+        #: Free-list telemetry for the kernel micro-benchmark.
+        self.pool_acquires = 0
+        self.pool_hits = 0
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -66,25 +99,93 @@ class Environment:
                  priority: int = PRIORITY_NORMAL) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
         self._seq = seq = self._seq + 1
-        _heappush(self._queue, (self._now + delay, priority, seq, event))
+        if delay == 0.0 and priority == 1:
+            self._bucket.append((seq, event))
+        else:
+            _heappush(self._queue, (self._now + delay, priority, seq, event))
+
+    def acquire_event(self) -> PooledEvent:
+        """Check a pending event out of the kernel free-list.
+
+        Pool contract: the caller must schedule the event exactly once
+        and must not retain a reference past its dispatch — the kernel
+        resets and reuses the object as soon as its callbacks have run.
+        For anything waited on across steps use :meth:`event` instead.
+        """
+        self.pool_acquires += 1
+        pool = self._pool
+        if pool:
+            self.pool_hits += 1
+            return pool.pop()
+        return PooledEvent(self)
+
+    def call_after(self, delay: float,
+                   callback: typing.Callable[[Event], None]) -> None:
+        """Run ``callback(event)`` after ``delay`` seconds of sim time.
+
+        Replaces the ``env.timeout(d).callbacks.append(cb)`` idiom on
+        the message send/reply/broker-deliver hot paths with a pooled
+        event, so steady-state delivery allocates nothing.
+        """
+        self.pool_acquires += 1
+        pool = self._pool
+        if pool:
+            self.pool_hits += 1
+            event = pool.pop()
+        else:
+            event = PooledEvent(self)
+        event._value = None
+        event.callbacks.append(callback)  # type: ignore[union-attr]
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._bucket.append((seq, event))
+        else:
+            _heappush(self._queue, (self._now + delay, 1, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        # A non-empty bucket always holds events due *now*; heap entries
+        # are never earlier than now, so now is the minimum.
+        if self._bucket:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the single next event in the queue."""
-        if not self._queue:
+        bucket = self._bucket
+        queue = self._queue
+        if bucket:
+            # The heap head precedes the bucket head only when it fires
+            # at the current tick with higher priority or an earlier
+            # sequence number (possible for a delayed event maturing
+            # exactly now, or a priority-0 interrupt).
+            head = queue[0] if queue else None
+            if (head is not None and head[0] == self._now
+                    and (head[1] < 1
+                         or (head[1] == 1 and head[2] < bucket[0][0]))):
+                self._now, _, _, event = _heappop(queue)
+            else:
+                _, event = bucket.popleft()
+        elif queue:
+            self._now, _, _, event = _heappop(queue)
+        else:
             raise RuntimeError("no scheduled events")
-        self._now, _, _, event = _heappop(self._queue)
         self.events_processed += 1
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks or ():
             callback(event)
         if not event._ok and not event._defused:
             exc = typing.cast(BaseException, event._value)
             raise SimulationError(
                 f"unhandled failure in {event!r}") from exc
+        if event.__class__ is PooledEvent and len(self._pool) < _POOL_MAX:
+            event._ok = True
+            event._defused = False
+            event._value = PENDING
+            callbacks.clear()  # type: ignore[union-attr]
+            event.callbacks = callbacks
+            self._pool.append(event)  # type: ignore[arg-type]
 
     def run(self, until: float | Event | None = None) -> object:
         """Run the simulation.
@@ -98,7 +199,7 @@ class Environment:
         if isinstance(until, Event):
             stop_event = until
             # Running until an event counts as "handling" its failure:
-            # the exception is re-raised below instead of at step().
+            # the exception is re-raised below instead of at dispatch.
             if stop_event.callbacks is not None:
                 stop_event.callbacks.append(
                     lambda event: event.defuse() if not event.ok else None)
@@ -108,15 +209,117 @@ class Environment:
                 raise ValueError(
                     f"until={stop_time} lies in the past (now={self._now})")
 
+        # The dispatch body is intentionally inlined three times below
+        # (bucket, lone non-normal-priority pop, batched drain): this
+        # loop is the hottest code in the repository and a shared helper
+        # costs a call frame per event.  ``step()`` above keeps the
+        # reference semantics.
         queue = self._queue
-        step = self.step
-        while queue:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if queue[0][0] > stop_time:
-                self._now = stop_time
-                break
-            step()
+        bucket = self._bucket
+        pool = self._pool
+        pop_bucket = bucket.popleft
+        processed = 0
+        try:
+            while True:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if bucket:
+                    head = queue[0] if queue else None
+                    if (head is not None and head[0] == self._now
+                            and (head[1] < 1
+                                 or (head[1] == 1
+                                     and head[2] < bucket[0][0]))):
+                        self._now, _, _, event = _heappop(queue)
+                    else:
+                        _, event = pop_bucket()
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks or ():
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = typing.cast(BaseException, event._value)
+                        raise SimulationError(
+                            f"unhandled failure in {event!r}") from exc
+                    if (event.__class__ is PooledEvent
+                            and len(pool) < _POOL_MAX):
+                        event._ok = True
+                        event._defused = False
+                        event._value = PENDING
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    continue
+                if not queue:
+                    break
+                head = queue[0]
+                time = head[0]
+                if time > stop_time:
+                    self._now = stop_time
+                    break
+                self._now = time
+                if head[1] != 1:
+                    # Non-normal priority (process interrupts): dispatch
+                    # singly so normal-priority events scheduled by its
+                    # callbacks order correctly behind remaining peers.
+                    _, _, _, event = _heappop(queue)
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks or ():
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = typing.cast(BaseException, event._value)
+                        raise SimulationError(
+                            f"unhandled failure in {event!r}") from exc
+                    if (event.__class__ is PooledEvent
+                            and len(pool) < _POOL_MAX):
+                        event._ok = True
+                        event._defused = False
+                        event._value = PENDING
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    continue
+                # Batched drain: pop every heap entry sharing
+                # (time, PRIORITY_NORMAL) without re-checking stop_time
+                # (new same-tick schedules land in the bucket, and the
+                # batch's time already passed the check above).  The
+                # drain yields back to the outer loop as soon as a
+                # bucket entry, a priority change (e.g. an interrupt
+                # scheduled by a callback) or the stop event could alter
+                # what must run next.
+                while True:
+                    _, _, _, event = _heappop(queue)
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks or ():
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = typing.cast(BaseException, event._value)
+                        raise SimulationError(
+                            f"unhandled failure in {event!r}") from exc
+                    if (event.__class__ is PooledEvent
+                            and len(pool) < _POOL_MAX):
+                        event._ok = True
+                        event._defused = False
+                        event._value = PENDING
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    if bucket:
+                        break
+                    if (stop_event is not None
+                            and stop_event.callbacks is None):
+                        break
+                    if not queue:
+                        break
+                    head = queue[0]
+                    if head[0] != time or head[1] != 1:
+                        break
+        finally:
+            self.events_processed += processed
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -125,7 +328,8 @@ class Environment:
                 stop_event.defuse()
                 raise typing.cast(BaseException, stop_event._value)
             return stop_event.value
-        if until is not None and self._now < stop_time and not self._queue:
+        if (until is not None and self._now < stop_time
+                and not self._queue and not self._bucket):
             self._now = stop_time
         return None
 

@@ -9,6 +9,7 @@ Events move through three states: *pending* (created, not yet triggered),
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.environment import Environment
@@ -62,7 +63,11 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): triggering is always zero-delay at
+        # normal priority, i.e. a straight same-tick bucket append.
+        env = self.env
+        env._seq = seq = env._seq + 1
+        env._bucket.append((seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -78,7 +83,10 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        # Inlined env.schedule(self) — see succeed().
+        env = self.env
+        env._seq = seq = env._seq + 1
+        env._bucket.append((seq, self))
         return self
 
     def defuse(self) -> None:
@@ -95,6 +103,21 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class PooledEvent(Event):
+    """A kernel-recycled event (see ``Environment.acquire_event``).
+
+    The dispatch loop identifies pooled events by exact class and
+    returns them to the environment's free-list right after their
+    callbacks run, resetting ``callbacks``/``_value``/``_ok``/
+    ``_defused`` to the pending state.  Consequently a pooled event must
+    never be retained past its dispatch — in particular it must not be
+    yielded from a process or stored in a :class:`Condition`, both of
+    which read ``value``/``processed`` later.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay of simulated time."""
 
@@ -104,15 +127,20 @@ class Timeout(Event):
                  value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        # Inlined Event.__init__ — timeouts are the kernel's most
-        # frequently created event; one call frame per yield matters.
+        # Inlined Event.__init__ and env.schedule — timeouts are the
+        # kernel's most frequently created event; one call frame per
+        # yield matters.
         self.env = env
         self.callbacks = []
         self._value = value
         self._ok = True
         self._defused = False
         self.delay = delay
-        env.schedule(self, delay=delay)
+        env._seq = seq = env._seq + 1
+        if delay == 0.0:
+            env._bucket.append((seq, self))
+        else:
+            _heappush(env._queue, (env._now + delay, 1, seq, self))
 
 
 class ConditionValue:

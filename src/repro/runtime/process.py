@@ -50,8 +50,8 @@ class Process(Event):
         self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the process via an immediately-scheduled init event.
-        init = Event(env)
-        init._ok = True
+        # Pooled: dispatched exactly once and never retained.
+        init = env.acquire_event()
         init._value = None
         init.callbacks.append(self._resume)
         env.schedule(init)
@@ -76,7 +76,7 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        interrupt_event = Event(self.env)
+        interrupt_event = self.env.acquire_event()
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
@@ -119,8 +119,9 @@ class Process(Event):
             return
         callbacks = result.callbacks
         if callbacks is None:
-            # Already processed: resume immediately (next scheduler step).
-            immediate = Event(self.env)
+            # Already processed: resume immediately (next scheduler step)
+            # via a pooled proxy — _target stays the real result event.
+            immediate = env.acquire_event()
             immediate._ok = result._ok
             immediate._value = result._value
             if not result._ok:

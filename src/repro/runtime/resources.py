@@ -88,16 +88,20 @@ class Resource:
             self._waiting.append(request)
         return request
 
-    def release(self, request: ResourceRequest) -> None:
-        """Release a previously granted slot."""
-        if not request.granted:
-            raise RuntimeError("releasing a request that was never granted")
+    def _release_slot(self) -> None:
+        """Free one slot and grant queued waiters (shared bookkeeping)."""
         self._account()
         self._in_use -= 1
         while self._waiting and self._in_use < self.capacity:
             waiter = self._waiting.popleft()
             self._grant(waiter)
             waiter.succeed()
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a previously granted slot."""
+        if not request.granted:
+            raise RuntimeError("releasing a request that was never granted")
+        self._release_slot()
 
     def use(self, duration: float):
         """Process helper: acquire a slot, hold it ``duration``, release.
@@ -107,16 +111,21 @@ class Resource:
             yield from resource.use(0.002)
 
         When a slot is free the grant is synchronous — no grant event
-        is scheduled, the hold timeout starts immediately.  Contended
-        requests queue FIFO exactly as before.
+        (and no :class:`ResourceRequest` at all) is created, the hold
+        timeout starts immediately.  Contended requests queue FIFO
+        exactly as before.
         """
         if self._in_use < self.capacity:
-            request = ResourceRequest(self)
-            self._grant(request)
+            self._account()
+            self._in_use += 1
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self._release_slot()
         else:
             request = self.request()
             yield request
-        try:
-            yield self.env.timeout(duration)
-        finally:
-            self.release(request)
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self.release(request)

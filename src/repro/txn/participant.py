@@ -75,7 +75,14 @@ class TransactionParticipant:
                 f"txn {ctx.txid} no longer active", reason="failure")
         yield from self.lock.acquire(ctx, LockMode.EXCLUSIVE)
         ctx.register(self)
-        self._staged[ctx.txid] = materialize(state)
+        if type(state) is CowState and not state.dirty:
+            # Read-mostly fast path: writing back an untouched view
+            # stages its frozen base by reference — no tree walk, no
+            # rebuild.  (Common for methods that read, decide not to
+            # change anything, and write the view back.)
+            self._staged[ctx.txid] = state._base
+        else:
+            self._staged[ctx.txid] = materialize(state)
 
     def read_committed(self) -> CowState:
         """Lock-free read of the last committed state (non-txn callers)."""
@@ -88,7 +95,10 @@ class TransactionParticipant:
         primitive — e.g. event-driven replica maintenance — so the write
         bypasses locking exactly like the real system would.
         """
-        self.committed_state = materialize(state)
+        if type(state) is CowState and not state.dirty:
+            self.committed_state = state._base
+        else:
+            self.committed_state = materialize(state)
 
     # ------------------------------------------------------------------
     # two-phase commit (called by the coordinator)

@@ -1,0 +1,250 @@
+"""Kernel round-2 invariants: batched timeline, event pool, run(until=...).
+
+The dispatch loop now interleaves a same-tick bucket with the binary
+heap and drains same-``(time, priority)`` heap runs in a batch.  None
+of that may change the kernel's contract: events are processed in
+strict ``(time, priority, sequence)`` order, where sequence is
+schedule-call order.  The property tests here compare the real kernel
+against a pure-``heapq`` reference model over randomly generated
+schedules, including events scheduled from inside callbacks (the
+bucket path) and non-normal priorities (the preemption path).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Environment, SimulationError
+from repro.runtime.events import PENDING, Event, PooledEvent
+
+# Coarse delay grid so that generated schedules collide on the same
+# timestamp often — collisions are exactly what the batched drain and
+# the bucket/heap ordering guard have to get right.
+_delays = st.sampled_from([0.0, 0.5, 1.0, 1.5])
+# 0 preempts (interrupts), 1 is normal, 2 is a hypothetical laggard.
+_priorities = st.sampled_from([0, 1, 2])
+_specs = st.tuples(_delays, _priorities)
+
+#: Root schedules plus per-root follow-up schedules issued from inside
+#: the root's callback (exercising mid-dispatch scheduling).
+_schedules = st.lists(
+    st.tuples(_specs, st.lists(_specs, max_size=3)),
+    min_size=1, max_size=12)
+
+
+def _reference_order(roots) -> list:
+    """Dispatch order per a plain single-heap kernel (the old one)."""
+    heap: list[tuple[float, int, int, object]] = []
+    order = []
+    seq = 0
+
+    def push(now: float, label, spec) -> None:
+        nonlocal seq
+        seq += 1
+        delay, priority = spec
+        heapq.heappush(heap, (now + delay, priority, seq, label))
+
+    for index, (spec, _followups) in enumerate(roots):
+        push(0.0, index, spec)
+    while heap:
+        now, _, _, label = heapq.heappop(heap)
+        order.append(label)
+        if isinstance(label, int):
+            for sub, spec in enumerate(roots[label][1]):
+                push(now, (label, sub), spec)
+    return order
+
+
+def _kernel_order(roots) -> list:
+    """Dispatch order from the real Environment for the same schedule."""
+    env = Environment()
+    order = []
+
+    def schedule(label, spec, followups) -> None:
+        event = Event(env)
+        event._value = None  # pre-triggered: fires when dispatched
+
+        def record(_event, label=label, followups=followups):
+            order.append(label)
+            for sub, sub_spec in enumerate(followups):
+                schedule((label, sub), sub_spec, ())
+
+        event.callbacks.append(record)
+        delay, priority = spec
+        env.schedule(event, delay, priority)
+
+    for index, (spec, followups) in enumerate(roots):
+        schedule(index, spec, followups)
+    env.run()
+    return order
+
+
+@settings(max_examples=200, deadline=None)
+@given(_schedules)
+def test_batched_dispatch_matches_heap_reference(roots):
+    assert _kernel_order(roots) == _reference_order(roots)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_schedules, st.floats(min_value=0.0, max_value=2.0))
+def test_batched_dispatch_respects_until(roots, stop_time):
+    """run(until=t) processes exactly the reference prefix with time <= t."""
+    env = Environment()
+    order = []
+
+    def schedule(label, spec, followups) -> None:
+        event = Event(env)
+        event._value = None
+
+        def record(_event, label=label, followups=followups):
+            order.append(label)
+            for sub, sub_spec in enumerate(followups):
+                schedule((label, sub), sub_spec, ())
+
+        event.callbacks.append(record)
+        delay, priority = spec
+        env.schedule(event, delay, priority)
+
+    for index, (spec, followups) in enumerate(roots):
+        schedule(index, spec, followups)
+    env.run(until=stop_time)
+    assert env.now == stop_time
+
+    reference = _reference_order(roots)
+    # Re-derive each reference label's firing time to cut the prefix.
+    times: dict = {}
+    heap: list = []
+    seq = 0
+
+    def push(now, label, spec):
+        nonlocal seq
+        seq += 1
+        heapq.heappush(heap, (now + spec[0], spec[1], seq, label))
+
+    for index, (spec, _f) in enumerate(roots):
+        push(0.0, index, spec)
+    while heap:
+        now, _, _, label = heapq.heappop(heap)
+        times[label] = now
+        if isinstance(label, int):
+            for sub, spec in enumerate(roots[label][1]):
+                push(now, (label, sub), spec)
+    expected = [label for label in reference if times[label] <= stop_time]
+    assert order == expected
+
+
+# ---------------------------------------------------------------------------
+# Event free-list safety
+# ---------------------------------------------------------------------------
+def test_pooled_event_is_pristine_after_release():
+    """A recycled event carries nothing over from its previous life."""
+    env = Environment()
+    fired = []
+    env.call_after(0.0, fired.append)
+    env.run()
+    assert len(fired) == 1
+    used = fired[0]
+    assert type(used) is PooledEvent
+
+    recycled = env.acquire_event()
+    assert recycled is used  # the free-list actually recycles
+    assert recycled.callbacks == []  # no stale callbacks
+    assert not recycled.triggered  # value reset to PENDING
+    assert recycled._value is PENDING
+    assert recycled.ok and not recycled.defused
+
+
+def test_pooled_event_reuse_does_not_refire_old_callbacks():
+    env = Environment()
+    calls = []
+    env.call_after(0.0, lambda _event: calls.append("first"))
+    env.run()
+    env.call_after(0.0, lambda _event: calls.append("second"))
+    env.run()
+    assert calls == ["first", "second"]
+
+
+def test_failed_pooled_event_resets_failure_state():
+    env = Environment()
+    event = env.acquire_event()
+    event.fail(RuntimeError("boom"))
+    event.defuse()
+    env.run()
+    recycled = env.acquire_event()
+    assert recycled is event
+    assert recycled.ok and not recycled.defused and not recycled.triggered
+    # ...and reusing it succeeds cleanly.
+    recycled.succeed("fine")
+    env.run()
+
+
+def test_pool_is_bounded():
+    from repro.runtime.environment import _POOL_MAX
+
+    env = Environment()
+    for _ in range(_POOL_MAX + 100):
+        env.call_after(0.0, lambda _event: None)
+    env.run()
+    assert len(env._pool) <= _POOL_MAX
+
+
+# ---------------------------------------------------------------------------
+# run(until=<failed event>) regression pins
+# ---------------------------------------------------------------------------
+def test_run_until_failing_event_defuses_and_reraises():
+    env = Environment()
+    event = env.event()
+
+    def failer():
+        yield env.timeout(0.1)
+        event.fail(RuntimeError("boom"))
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=event)
+    # Defused by the stop-event hook: no SimulationError afterwards.
+    assert event.defused
+    env.run()
+
+
+def test_run_until_already_processed_failed_event_reraises():
+    """until= an event that failed *in an earlier run* still raises.
+
+    The failure was defused back then (someone handled it), but asking
+    to run until that event is an explicit read of its outcome — the
+    caller must see the original exception, not ``None``.
+    """
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("boom"))
+    event.defuse()
+    env.run()  # processes the (defused) failure without raising
+    assert event.processed and not event.ok
+
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=event)
+    # And it stays repeatable — the event is not consumed.
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=event)
+
+
+def test_run_until_undefused_failed_event_is_handled_not_crashed():
+    """run(until=ev) counts as handling ev's failure at dispatch time."""
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("boom"))
+    # No defuse here: without the until= hook this dispatch would
+    # surface SimulationError; with it, the original exception arrives.
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=event)
+
+
+def test_unhandled_failed_event_still_raises_simulation_error():
+    env = Environment()
+    env.event().fail(RuntimeError("boom"))
+    with pytest.raises(SimulationError):
+        env.run()

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Merge ``BENCH_*.json`` artifacts into a markdown trajectory table.
+
+Every benchmark run drops a ``BENCH_<name>.json`` file at the repo root
+(git-ignored; CI uploads them as artifacts).  This tool lines up any
+number of those snapshots — the current tree plus archived copies from
+earlier commits or CI runs — and renders one markdown table per bench
+so the performance trajectory is readable at a glance::
+
+    python tools/bench_trends.py                    # current tree only
+    python tools/bench_trends.py snapshots/pr3 .    # archived dir vs now
+    python tools/bench_trends.py a/BENCH_P0_hotpath.json b/ -o TRENDS.md
+
+Each positional argument is either a directory containing
+``BENCH_*.json`` files (labelled by its directory name; the repo root /
+``.`` is labelled ``current``) or a single ``BENCH_*.json`` file.
+Later arguments become later columns, so list snapshots oldest-first.
+
+Row keys per bench kind: P0 rows are keyed by ``duration_scale``, P1
+rows by ``cell``, M0 rows by ``silos``; unknown benches fall back to
+the first field of each row.  The headline metric is events/s where
+present (M0 reports speedup and wall times instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: bench name -> (row key field, [(column header, row field)...])
+_LAYOUTS = {
+    "p0_hotpath": ("duration_scale",
+                   [("events/s", "events_per_wall_s"),
+                    ("tx/s", "tx_per_wall_s")]),
+    "p1_kernel": ("cell",
+                  [("events/s", "events_per_wall_s"),
+                   ("pool hit", "pool_hit_rate")]),
+    "m0_matrix": ("cell",
+                  [("serial s", "serial_wall_s"),
+                   ("parallel s", "parallel_wall_s")]),
+}
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:g}"
+    return str(value)
+
+
+def load_snapshot(path: pathlib.Path) -> dict[str, dict]:
+    """Map bench name -> parsed payload for one snapshot location."""
+    files = [path] if path.is_file() else sorted(path.glob("BENCH_*.json"))
+    benches: dict[str, dict] = {}
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping {file}: {exc}", file=sys.stderr)
+            continue
+        name = payload.get("bench")
+        if name and isinstance(payload.get("rows"), list):
+            benches[name] = payload
+    return benches
+
+
+def _label(path: pathlib.Path) -> str:
+    resolved = path.resolve()
+    if resolved == REPO_ROOT or resolved.parent == REPO_ROOT:
+        return "current"
+    return resolved.stem if path.is_file() else resolved.name
+
+
+def _row_layout(bench: str, rows: list[dict]):
+    if bench in _LAYOUTS:
+        return _LAYOUTS[bench]
+    first = next(iter(rows[0]), None)
+    metrics = [(field, field) for field in rows[0]
+               if field != first and isinstance(rows[0][field], (int, float))]
+    return first, metrics[:2]
+
+
+def render(snapshots: list[tuple[str, dict[str, dict]]]) -> str:
+    """One markdown section per bench, one column group per snapshot."""
+    bench_names: list[str] = []
+    for _, benches in snapshots:
+        for name in benches:
+            if name not in bench_names:
+                bench_names.append(name)
+    if not bench_names:
+        return ("No `BENCH_*.json` artifacts found — run the benchmarks "
+                "first (`python -m pytest benchmarks/ -q -s`).\n")
+
+    out: list[str] = ["# Benchmark trajectory", ""]
+    for bench in bench_names:
+        holders = [(label, benches[bench]) for label, benches in snapshots
+                   if bench in benches]
+        key_field, metrics = _row_layout(
+            bench, holders[-1][1]["rows"])
+        out += [f"## {bench}", ""]
+        if bench == "m0_matrix":
+            # Matrix speedup is a whole-run number, not per-row.
+            summary = ", ".join(
+                f"{label}: {_fmt(payload.get('speedup'))}× on "
+                f"{_fmt(payload.get('cores'))} cores"
+                for label, payload in holders)
+            out += [f"Matrix speedup — {summary}.", ""]
+        if any(payload.get("quick") for _, payload in holders):
+            out += ["*(at least one snapshot ran in quick mode — "
+                    "compare columns with care)*", ""]
+
+        header = [key_field or "row"]
+        for label, _ in holders:
+            header += [f"{label} {col}" for col, _ in metrics]
+        out.append("| " + " | ".join(header) + " |")
+        out.append("|" + "---|" * len(header))
+
+        keys: list = []
+        for _, payload in holders:
+            for row in payload["rows"]:
+                key = row.get(key_field)
+                if key not in keys:
+                    keys.append(key)
+        for key in keys:
+            cells = [_fmt(key)]
+            for _, payload in holders:
+                row = next((r for r in payload["rows"]
+                            if r.get(key_field) == key), None)
+                for _, field in metrics:
+                    cells.append(_fmt(row.get(field)) if row else "—")
+            out.append("| " + " | ".join(cells) + " |")
+        out.append("")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n", 1)[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "sources", nargs="*", type=pathlib.Path,
+        help="BENCH_*.json files or directories holding them, "
+             "oldest snapshot first (default: the repo root)")
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=None,
+        help="write the markdown here instead of stdout")
+    args = parser.parse_args(argv)
+
+    sources = args.sources or [REPO_ROOT]
+    snapshots = []
+    for source in sources:
+        if not source.exists():
+            print(f"error: {source} does not exist", file=sys.stderr)
+            return 2
+        snapshots.append((_label(source), load_snapshot(source)))
+
+    text = render(snapshots)
+    if args.output:
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI perf regression gate for the P0 hot-path benchmark.
+
+Compares the freshly generated ``BENCH_P0_hotpath.json`` (the bench
+smoke job runs with ``REPRO_BENCH_QUICK=1``) against the committed
+floor in ``benchmarks/perf_baseline.json``:
+
+* best events/s across rows below 90 % of the floor  -> warning
+* best events/s across rows below 75 % of the floor  -> exit 1
+
+The floor is deliberately set far under typical dev-machine numbers
+(shared CI runners are slow and noisy), so tripping the hard gate
+means a real, large regression — an accidental O(n) loop in the
+dispatch path, not scheduler jitter.  Update the floor in
+``benchmarks/perf_baseline.json`` when the kernel genuinely changes
+speed class.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_P0_hotpath.json"
+BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
+
+WARN_FRACTION = 0.90
+FAIL_FRACTION = 0.75
+
+
+def main() -> int:
+    if not ARTIFACT.exists():
+        print(f"error: {ARTIFACT.name} not found — run the P0 bench first "
+              "(REPRO_BENCH_QUICK=1 python -m pytest "
+              "benchmarks/bench_p0_hotpath.py -q -s)", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["floor"]["floor_events_per_wall_s"]
+
+    payload = json.loads(ARTIFACT.read_text())
+    rates = [row["events_per_wall_s"] for row in payload["rows"]
+             if row.get("events_per_wall_s")]
+    if not rates:
+        print("error: no events_per_wall_s rows in the artifact",
+              file=sys.stderr)
+        return 2
+    best = max(rates)
+
+    print(f"P0 best events/s: {best:,.0f}  (floor {floor:,.0f}; "
+          f"warn <{WARN_FRACTION:.0%}, fail <{FAIL_FRACTION:.0%})")
+    if best < floor * FAIL_FRACTION:
+        print(f"FAIL: {best:,.0f} events/s is below "
+              f"{FAIL_FRACTION:.0%} of the committed floor — "
+              "kernel hot path has regressed badly", file=sys.stderr)
+        return 1
+    if best < floor * WARN_FRACTION:
+        print(f"WARNING: {best:,.0f} events/s is below "
+              f"{WARN_FRACTION:.0%} of the committed floor — "
+              "check recent kernel changes (may be runner noise)")
+    else:
+        print("perf floor gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
