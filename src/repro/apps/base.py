@@ -96,6 +96,18 @@ class MarketplaceApp:
         """The Seller Dashboard (two queries; see snapshot criterion)."""
         raise NotImplementedError
 
+    def submit_external(self, platform: str, shop_id: int,
+                        ext_order_no: str, customer_id: int,
+                        items: list[dict]):
+        """Ingest one external-platform order, exactly once per
+        ``(platform, shop_id, ext_order_no)`` — duplicates must return
+        the originally created order."""
+        raise NotImplementedError
+
+    def request_return(self, customer_id: int, order_id: str):
+        """The return/refund compensation saga for a completed order."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # audits (zero-latency state inspection for the criteria checkers)
     # ------------------------------------------------------------------

@@ -180,6 +180,40 @@ class CustomizedOrleansApp(OrleansTransactionsApp):
                 "updated_at": self.env.now})
         txn.commit()
 
+    def submit_external(self, platform: str, shop_id: int,
+                        ext_order_no: str, customer_id: int,
+                        items: list[dict]):
+        result = yield from super().submit_external(
+            platform, shop_id, ext_order_no, customer_id, items)
+        if result.ok and not result.payload.get("idempotent"):
+            yield self.env.timeout(SQL_WRITE_LATENCY)
+            self._record_entries(customer_id, result.payload["order_id"])
+            self.audit_log.append_async(
+                "submit_external", result.payload["order_id"],
+                {"platform": platform, "shop_id": shop_id,
+                 "ext_order_no": ext_order_no,
+                 "total_cents": result.payload["total_cents"]})
+        return result
+
+    def request_return(self, customer_id: int, order_id: str):
+        result = yield from super().request_return(customer_id, order_id)
+        if result.ok:
+            yield self.env.timeout(SQL_WRITE_LATENCY)
+            self._restatus_entries(order_id, result.payload["outcome"])
+            self.audit_log.append_async(
+                "request_return", order_id,
+                {"customer_id": customer_id,
+                 "outcome": result.payload["outcome"],
+                 "refund_cents": result.payload["refund_cents"]})
+        return result
+
+    def _restatus_entries(self, order_id: str, status: str) -> None:
+        txn = self.sql.begin()
+        for row in txn.scan("order_entries", eq("order_id", order_id)):
+            txn.update("order_entries", row.key,
+                       {"status": status, "updated_at": self.env.now})
+        txn.commit()
+
     def update_delivery(self):
         result = yield from super().update_delivery()
         if result.ok:

@@ -16,6 +16,8 @@ from repro.marketplace.constants import OrderStatus, Topics
 from repro.marketplace.logic import (
     cart as cart_logic,
     customer as customer_logic,
+    ingestion as ingestion_logic,
+    lifecycle,
     order as order_logic,
     payment as payment_logic,
     product as product_logic,
@@ -142,6 +144,26 @@ class StockGrain(Grain):
         return True
         yield  # pragma: no cover - generator marker
 
+    def allocate(self, quantity: int):
+        """Reserve-and-confirm in one step (external-order ingestion)."""
+        if self.data is None or not self.data.get("active", True):
+            return False
+        available = self.data["qty_available"] - self.data["qty_reserved"]
+        if available < quantity:
+            return False
+        self.data = {**self.data,
+                     "qty_available": self.data["qty_available"] - quantity}
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def restock(self, quantity: int):
+        """Hand returned units back (return-saga compensation)."""
+        if self.data is None:
+            return False
+        self.data = stock_logic.restock(self.data, quantity)
+        return True
+        yield  # pragma: no cover - generator marker
+
     def deactivate(self, version: int):
         if self.data is None:
             return False
@@ -246,6 +268,13 @@ class OrderGrain(Grain):
             self.data = order_logic.set_status(
                 self.data, order_id, OrderStatus.PAYMENT_FAILED,
                 self.env.now)
+            # Close the compensation chain locally: a failed payment
+            # cancels the order (the stock cancels above may be lost —
+            # that gap is what the criteria audit measures).
+            self.data = order_logic.set_status(
+                self.data, order_id, OrderStatus.CANCELED, self.env.now)
+            self.grain_ref(CustomerGrain, self.key).tell(
+                "record_payment", order["total_cents"], False)
             self.publish(Topics.ORDER_EVENTS, order_id, {
                 "kind": "payment_failed", "order_id": order_id,
                 "customer_id": order["customer_id"], "sellers": sellers},
@@ -275,6 +304,99 @@ class OrderGrain(Grain):
         return {"status": "ok", "order_id": order_id,
                 "invoice": order["invoice"],
                 "total_cents": order["total_cents"]}
+
+    # ------------------------------------------------------------------
+    def ingest_external(self, order_id: str, items: list[dict], ext: str):
+        """Create a prepaid external-platform order.
+
+        Stock is allocated with awaited one-step calls (no dangling
+        reservations); the downstream effects mirror the post-payment
+        half of checkout and are just as droppable.
+        """
+        self._ensure()
+        outcomes = yield self.env.all_of([
+            self.env.process(_safe_call(self, self.call(
+                self.grain_ref(StockGrain,
+                               f"{item['seller_id']}/{item['product_id']}"),
+                "allocate", item["quantity"])))
+            for item in items])
+        flags = list(outcomes.todict().values())
+        confirmed = [item for item, flag in zip(items, flags) if flag]
+        if not confirmed:
+            return {"status": "rejected", "reason": "no_stock",
+                    "order_id": order_id}
+        self.data, order = order_logic.assemble(
+            self.data, order_id, confirmed, self.env.now, ext=ext)
+        sellers = order_logic.seller_ids(order)
+        created = self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "order_created", "order": order, "sellers": sellers})
+        self.data = order_logic.set_status(
+            self.data, order_id, OrderStatus.PAYMENT_PROCESSED,
+            self.env.now)
+        paid = self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "payment_confirmed", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": sellers,
+            "amount_cents": order["total_cents"]},
+            causal_deps=[created.sequence])
+        app = self.cluster.app
+        shipment_ref = self.grain_ref(
+            ShipmentGrain, app.shipment_partition(order_id))
+        shipment_ref.tell("create", order, paid.sequence)
+        self.grain_ref(CustomerGrain, self.key).tell(
+            "record_payment", order["total_cents"], True)
+        return {"status": "ok", "order_id": order_id,
+                "invoice": order["invoice"],
+                "total_cents": order["total_cents"]}
+
+    def process_return(self, order_id: str):
+        """Return/refund as a compensating event chain.
+
+        The refund is awaited (the saga must not proceed without it);
+        restocks, the seller ledger reversal and the customer refund
+        ride on fire-and-forget tells and unordered events.  A dropped
+        refund call strands the order in RETURN_REQUESTED — the
+        anomaly window the criteria audit quantifies.
+        """
+        self._ensure()
+        if order_id not in self.data["orders"]:
+            return {"status": "rejected", "reason": "unknown_order",
+                    "order_id": order_id}
+        order = self.data["orders"][order_id]
+        if order["status"] != OrderStatus.COMPLETED:
+            return {"status": "rejected", "reason": "not_completed",
+                    "order_id": order_id, "state": order["status"]}
+        outcome = lifecycle.disposition(order_id)
+        self.data = order_logic.set_status(
+            self.data, order_id, OrderStatus.RETURN_REQUESTED,
+            self.env.now)
+        sellers = order_logic.seller_ids(order)
+        requested = self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "return_requested", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": sellers})
+        payment_ref = self.grain_ref(PaymentGrain, order_id)
+        refunded = yield from _safe_call(
+            self, self.call(payment_ref, "refund"))
+        if not refunded:
+            return {"status": "failed", "reason": "refund_unreachable",
+                    "order_id": order_id}
+        for hop in lifecycle.return_hops(outcome)[1:]:
+            self.data = order_logic.set_status(self.data, order_id, hop,
+                                               self.env.now)
+        if outcome != OrderStatus.DEFECT:
+            for item in order["items"]:
+                self.grain_ref(
+                    StockGrain,
+                    f"{item['seller_id']}/{item['product_id']}").tell(
+                        "restock", item["quantity"])
+        self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "order_returned", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": sellers,
+            "order": order, "outcome": outcome},
+            causal_deps=[requested.sequence])
+        self.grain_ref(CustomerGrain, self.key).tell(
+            "record_refund", order["total_cents"])
+        return {"status": "ok", "order_id": order_id, "outcome": outcome,
+                "refund_cents": order["total_cents"]}
 
     # ------------------------------------------------------------------
     def record_shipment(self, order_id: str, package_count: int):
@@ -317,6 +439,13 @@ class PaymentGrain(Grain):
             order["total_cents"], method, self.env.now)
         self.data = payment_logic.authorize(payment, approval_rate)
         return dict(self.data)
+        yield  # pragma: no cover - generator marker
+
+    def refund(self):
+        if self.data is None or not payment_logic.is_approved(self.data):
+            return False
+        self.data = payment_logic.refund(self.data)
+        return True
         yield  # pragma: no cover - generator marker
 
     def get(self):
@@ -411,6 +540,12 @@ class CustomerGrain(Grain):
         return True
         yield  # pragma: no cover - generator marker
 
+    def record_refund(self, amount_cents: int):
+        self._ensure()
+        self.data = customer_logic.record_refund(self.data, amount_cents)
+        return True
+        yield  # pragma: no cover - generator marker
+
     def get(self):
         return dict(self._ensure())
         yield  # pragma: no cover - generator marker
@@ -457,6 +592,11 @@ class SellerGrain(Grain):
             self.data = seller_logic.update_entry_status(
                 self.data, payload["order_id"], OrderStatus.COMPLETED,
                 self.env.now)
+        elif kind == "order_returned":
+            amount = seller_logic.seller_share_cents(
+                payload["order"], self.data["seller_id"])
+            if amount:
+                self.data = seller_logic.record_return(self.data, amount)
         return True
         yield  # pragma: no cover - generator marker
 
@@ -471,6 +611,61 @@ class SellerGrain(Grain):
         yield  # pragma: no cover - generator marker
 
 
+class IngestionGrain(Grain):
+    """Dedup registry shard for one external ``(platform, shop_id)``.
+
+    Registration is grain-local, but order creation is a separate
+    at-least-once call: when it times out the grain retries with a
+    fresh internal order id.  If the first attempt actually committed
+    and only its reply was lost, the retry mints a *duplicate* order
+    (and decrements stock twice) — the exactly-once anomaly the C6
+    audit quantifies on this stack.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.data: dict | None = None
+
+    def submit(self, platform: str, shop_id: int, ext_order_no: str,
+               customer_id: int, items: list[dict]):
+        if self.data is None:
+            self.data = ingestion_logic.new_registry(self.key)
+        key = ingestion_logic.dedup_key(platform, shop_id, ext_order_no)
+        self.data, order_id, created = ingestion_logic.register(
+            self.data, key)
+        if not created:
+            return {"status": "ok", "order_id": order_id,
+                    "idempotent": True}
+        order_ref = self.grain_ref(OrderGrain, str(customer_id))
+        result = yield from _safe_call(self, self.call(
+            order_ref, "ingest_external", order_id, items, key))
+        if result is None:
+            retry_id = f"{order_id}.r1"
+            result = yield from _safe_call(self, self.call(
+                order_ref, "ingest_external", retry_id, items, key))
+            if result is None:
+                # Registered but (as far as we know) never created: an
+                # orphaned registration the audit counts.
+                return {"status": "failed", "reason": "order_unreachable",
+                        "order_id": order_id}
+        if result.get("status") != "ok":
+            # Nothing was created: roll the local registration back so
+            # a later submit can retry from scratch.
+            entries = dict(self.data["entries"])
+            entries.pop(key, None)
+            self.data = {**self.data, "entries": entries}
+            return {"status": "rejected",
+                    "reason": result.get("reason", "rejected"),
+                    "order_id": order_id}
+        if result["order_id"] != order_id:
+            entries = dict(self.data["entries"])
+            entries[key] = result["order_id"]
+            self.data = {**self.data, "entries": entries}
+        return {"status": "ok", "order_id": result["order_id"],
+                "idempotent": False, "invoice": result["invoice"],
+                "total_cents": result["total_cents"]}
+
+
 #: Grain classes registered by the eventual app, keyed by service name.
 EVENTUAL_GRAINS: dict[str, type[Grain]] = {
     "product": ProductGrain,
@@ -482,4 +677,5 @@ EVENTUAL_GRAINS: dict[str, type[Grain]] = {
     "shipment": ShipmentGrain,
     "customer": CustomerGrain,
     "seller": SellerGrain,
+    "ingestion": IngestionGrain,
 }

@@ -1,10 +1,11 @@
 """Grain classes of the ACID-transactional implementation.
 
 Every grain's state is guarded by a :class:`TransactionParticipant`
-(strict 2PL, wait-die); the checkout, delivery and seller operations run
-as distributed transactions committed with 2PC.  Payment declines raise
-:class:`PaymentDeclined` — a *non-retryable* abort, unlike wait-die
-victims, which the coordinator retries with preserved priority.
+(strict 2PL, wait-die); the checkout, delivery, return and ingestion
+operations run as distributed transactions committed with 2PC.  A
+payment decline compensates inside the same transaction (stock release
++ a PAYMENT_FAILED -> CANCELED order tombstone), so the unhappy paths
+are exactly as atomic as the happy one.
 """
 
 from __future__ import annotations
@@ -13,6 +14,8 @@ from repro.marketplace.constants import OrderStatus, Topics
 from repro.marketplace.logic import (
     cart as cart_logic,
     customer as customer_logic,
+    ingestion as ingestion_logic,
+    lifecycle,
     order as order_logic,
     payment as payment_logic,
     product as product_logic,
@@ -108,6 +111,14 @@ class TxnStockGrain(TransactionalGrain):
             {**state, "qty_available": state["qty_available"] - quantity})
         return True
 
+    def release(self, quantity: int):
+        """Hand allocated units back (compensation: abort or return)."""
+        state = yield from self.txn_read()
+        if not state:
+            return False
+        yield from self.txn_write(stock_logic.restock(state, quantity))
+        return True
+
     def deactivate(self, version: int):
         state = yield from self.txn_read()
         if not state:
@@ -183,7 +194,29 @@ class TxnOrderGrain(TransactionalGrain):
         payment = yield self.call(payment_ref, "process", order,
                                   payment_method, app.config.approval_rate)
         if not payment_logic.is_approved(payment):
-            raise PaymentDeclined(order_id)
+            # Payment-failure abort as an explicit compensation inside
+            # the same ACID transaction: hand the allocated stock back
+            # and keep the order as an auditable PAYMENT_FAILED ->
+            # CANCELED tombstone (all-or-nothing with the release).
+            for item in confirmed:
+                ref = self.grain_ref(
+                    TxnStockGrain,
+                    f"{item['seller_id']}/{item['product_id']}")
+                yield self.call(ref, "release", item["quantity"])
+            state = order_logic.set_status(
+                state, order_id, OrderStatus.PAYMENT_FAILED, self.env.now)
+            state = order_logic.set_status(
+                state, order_id, OrderStatus.CANCELED, self.env.now)
+            yield from self.txn_write(state)
+            customer_ref = self.grain_ref(TxnCustomerGrain, self.key)
+            yield self.call(customer_ref, "record_payment",
+                            order["total_cents"], False)
+            self.publish(Topics.ORDER_EVENTS, order_id, {
+                "kind": "payment_failed", "order_id": order_id,
+                "customer_id": order["customer_id"], "sellers": [],
+                "amount_cents": order["total_cents"]})
+            return {"status": "failed", "reason": "payment",
+                    "order_id": order_id}
         state = order_logic.set_status(
             state, order_id, OrderStatus.PAYMENT_PROCESSED, self.env.now)
         # 4. Shipment, seller dashboard entries and customer statistics —
@@ -229,6 +262,109 @@ class TxnOrderGrain(TransactionalGrain):
                 "sellers": order_logic.seller_ids(
                     state["orders"][order_id])}
 
+    def ingest_external(self, order_id: str, items: list[dict], ext: str):
+        """Create a prepaid external-platform order (one transaction).
+
+        The external channel already collected payment, so the order
+        goes straight to PAYMENT_PROCESSED and ships; stock allocation,
+        seller entries and customer statistics commit atomically with
+        it — and with the caller's dedup registration.
+        """
+        app = self.cluster.app
+        state = yield from self.txn_read()
+        if not state:
+            state = order_logic.new_customer_orders(int(self.key))
+        confirmed = []
+        for item in sorted(items, key=lambda entry:
+                           (entry["seller_id"], entry["product_id"])):
+            ref = self.grain_ref(
+                TxnStockGrain, f"{item['seller_id']}/{item['product_id']}")
+            granted = yield self.call(ref, "allocate", item["quantity"])
+            if granted:
+                confirmed.append(item)
+        if not confirmed:
+            return {"status": "rejected", "reason": "no_stock",
+                    "order_id": order_id}
+        state, order = order_logic.assemble(state, order_id, confirmed,
+                                            self.env.now, ext=ext)
+        state = order_logic.set_status(
+            state, order_id, OrderStatus.PAYMENT_PROCESSED, self.env.now)
+        shipment_ref = self.grain_ref(
+            TxnShipmentGrain, app.shipment_partition(order_id))
+        package_count = yield self.call(shipment_ref, "create", order)
+        state = order_logic.record_shipment(state, order_id,
+                                            package_count, self.env.now)
+        yield from self.txn_write(state)
+        for seller_id in order_logic.seller_ids(order):
+            seller_ref = self.grain_ref(TxnSellerGrain, str(seller_id))
+            yield self.call(seller_ref, "upsert_entry",
+                            {**order, "status": OrderStatus.IN_TRANSIT})
+        customer_ref = self.grain_ref(TxnCustomerGrain, self.key)
+        yield self.call(customer_ref, "record_payment",
+                        order["total_cents"], True)
+        created = self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "payment_confirmed", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": [],
+            "amount_cents": order["total_cents"]})
+        self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "shipment_notification", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": [],
+            "package_count": package_count},
+            causal_deps=[created.sequence])
+        return {"status": "ok", "order_id": order_id,
+                "invoice": order["invoice"],
+                "total_cents": order["total_cents"]}
+
+    def process_return(self, order_id: str):
+        """Return/refund compensation saga as one ACID transaction.
+
+        Restock (unless the return is defective), refund the payment,
+        reverse the sellers' recognised revenue and the customer's
+        spend — all participants of the same transaction, so the saga
+        can never be observed half-applied on this stack.
+        """
+        state = yield from self.txn_read()
+        if not state or order_id not in state["orders"]:
+            return {"status": "rejected", "reason": "unknown_order",
+                    "order_id": order_id}
+        order = state["orders"][order_id]
+        if order["status"] != OrderStatus.COMPLETED:
+            return {"status": "rejected", "reason": "not_completed",
+                    "order_id": order_id, "state": order["status"]}
+        outcome = lifecycle.disposition(order_id)
+        for hop in lifecycle.return_hops(outcome):
+            state = order_logic.set_status(state, order_id, hop,
+                                           self.env.now)
+        yield from self.txn_write(state)
+        order = state["orders"][order_id]
+        payment_ref = self.grain_ref(TxnPaymentGrain, order_id)
+        yield self.call(payment_ref, "refund")
+        if outcome != OrderStatus.DEFECT:
+            for item in sorted(order["items"], key=lambda entry:
+                               (entry["seller_id"], entry["product_id"])):
+                ref = self.grain_ref(
+                    TxnStockGrain,
+                    f"{item['seller_id']}/{item['product_id']}")
+                yield self.call(ref, "release", item["quantity"])
+        for seller_id in order_logic.seller_ids(order):
+            amount = seller_logic.seller_share_cents(order, seller_id)
+            if amount:
+                seller_ref = self.grain_ref(TxnSellerGrain, str(seller_id))
+                yield self.call(seller_ref, "record_return", amount)
+        customer_ref = self.grain_ref(TxnCustomerGrain, self.key)
+        yield self.call(customer_ref, "record_refund",
+                        order["total_cents"])
+        created = self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "return_requested", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": []})
+        self.publish(Topics.ORDER_EVENTS, order_id, {
+            "kind": "order_returned", "order_id": order_id,
+            "customer_id": order["customer_id"], "sellers": [],
+            "outcome": outcome},
+            causal_deps=[created.sequence])
+        return {"status": "ok", "order_id": order_id, "outcome": outcome,
+                "refund_cents": order["total_cents"]}
+
 
 class TxnPaymentGrain(TransactionalGrain):
     """Per-order payment record under transactional state."""
@@ -240,6 +376,13 @@ class TxnPaymentGrain(TransactionalGrain):
         payment = payment_logic.authorize(payment, approval_rate)
         yield from self.txn_write(payment)
         return payment
+
+    def refund(self):
+        payment = yield from self.txn_read()
+        if not payment:
+            return False
+        yield from self.txn_write(payment_logic.refund(payment))
+        return True
 
 
 class TxnShipmentGrain(TransactionalGrain):
@@ -315,6 +458,14 @@ class TxnCustomerGrain(TransactionalGrain):
         yield from self.txn_write(customer_logic.record_delivery(state))
         return True
 
+    def record_refund(self, amount_cents: int):
+        state = yield from self.txn_read()
+        if not state:
+            state = customer_logic.new_customer(int(self.key))
+        yield from self.txn_write(customer_logic.record_refund(
+            state, amount_cents))
+        return True
+
     def get(self):
         state = yield from self.txn_read()
         return state or customer_logic.new_customer(int(self.key))
@@ -338,6 +489,14 @@ class TxnSellerGrain(TransactionalGrain):
             state, order_id, status, self.env.now))
         return True
 
+    def record_return(self, amount_cents: int):
+        state = yield from self.txn_read()
+        if not state:
+            return False
+        yield from self.txn_write(seller_logic.record_return(
+            state, amount_cents))
+        return True
+
     def dashboard_amount(self):
         """Non-transactional read: Orleans Transactions has no snapshot
         queries, so the dashboard reads committed state directly."""
@@ -353,6 +512,40 @@ class TxnSellerGrain(TransactionalGrain):
         return seller_logic.dashboard_entries(state)
 
 
+class TxnIngestionGrain(TransactionalGrain):
+    """Dedup registry shard for one external ``(platform, shop_id)``.
+
+    Registration and internal-order creation are participants of the
+    same transaction, so a duplicate submit is exactly-once by
+    construction: either the key committed with its order, or neither
+    exists and a retry starts from scratch.
+    """
+
+    def submit(self, platform: str, shop_id: int, ext_order_no: str,
+               customer_id: int, items: list[dict]):
+        state = yield from self.txn_read()
+        if not state:
+            state = ingestion_logic.new_registry(self.key)
+        key = ingestion_logic.dedup_key(platform, shop_id, ext_order_no)
+        state, order_id, created = ingestion_logic.register(state, key)
+        if not created:
+            return {"status": "ok", "order_id": order_id,
+                    "idempotent": True}
+        order_ref = self.grain_ref(TxnOrderGrain, str(customer_id))
+        result = yield self.call(order_ref, "ingest_external", order_id,
+                                 items, key)
+        if result.get("status") != "ok":
+            # No txn_write: the registration is dropped with the rest
+            # of the transaction's effects, so a retry can succeed.
+            return {"status": "rejected",
+                    "reason": result.get("reason", "rejected"),
+                    "order_id": order_id}
+        yield from self.txn_write(state)
+        return {"status": "ok", "order_id": order_id, "idempotent": False,
+                "invoice": result["invoice"],
+                "total_cents": result["total_cents"]}
+
+
 #: Grain classes of the transactional app, keyed by service name.
 TXN_GRAINS = {
     "product": TxnProductGrain,
@@ -364,4 +557,5 @@ TXN_GRAINS = {
     "shipment": TxnShipmentGrain,
     "customer": TxnCustomerGrain,
     "seller": TxnSellerGrain,
+    "ingestion": TxnIngestionGrain,
 }

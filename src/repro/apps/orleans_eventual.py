@@ -147,6 +147,44 @@ class OrleansEventualApp(MarketplaceApp):
             return rejected("checkout", **result)
         return failed("checkout", **result)
 
+    def submit_external(self, platform: str, shop_id: int,
+                        ext_order_no: str, customer_id: int,
+                        items: list[dict]):
+        """External-order ingestion through the dedup shard.
+
+        The registry call itself is awaited, but the shard's downstream
+        order creation is at-least-once — the duplicate-order anomaly
+        lives inside the shard, not here."""
+        from repro.marketplace.logic import ingestion as ingestion_logic
+        shard = self._grain("ingestion",
+                            ingestion_logic.shard_key(platform, shop_id))
+        try:
+            result = yield shard.call("submit", platform, shop_id,
+                                      ext_order_no, customer_id, items)
+        except Exception:
+            return failed("submit_external", reason="unreachable")
+        status = result.pop("status")
+        if status == "ok":
+            return ok("submit_external", **result)
+        if status == "rejected":
+            return rejected("submit_external", **result)
+        return failed("submit_external", **result)
+
+    def request_return(self, customer_id: int, order_id: str):
+        """Return/refund compensation chain on the order grain."""
+        orders = self._grain("order", str(customer_id))
+        try:
+            result = yield orders.call("process_return", order_id)
+        except Exception:
+            return failed("request_return", reason="unreachable",
+                          order_id=order_id)
+        status = result.pop("status")
+        if status == "ok":
+            return ok("request_return", **result)
+        if status == "rejected":
+            return rejected("request_return", **result)
+        return failed("request_return", **result)
+
     def update_price(self, seller_id: int, product_id: int,
                      price_cents: int):
         product = self._grain("product", f"{seller_id}/{product_id}")
@@ -225,13 +263,14 @@ class OrleansEventualApp(MarketplaceApp):
         views: dict[str, dict] = {
             "products": {}, "replicas": {}, "stock": {}, "orders": {},
             "payments": {}, "shipments": {}, "customers": {},
-            "sellers": {}, "carts": {},
+            "sellers": {}, "carts": {}, "ingestion": {},
         }
         service_to_view = {
             "product": "products", "replica": "replicas",
             "stock": "stock", "order": "orders", "payment": "payments",
             "shipment": "shipments", "customer": "customers",
             "seller": "sellers", "cart": "carts",
+            "ingestion": "ingestion",
         }
         for silo in self.cluster.silos:
             for (type_name, key), activation in silo.activations.items():

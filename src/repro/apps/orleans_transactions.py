@@ -154,7 +154,45 @@ class OrleansTransactionsApp(MarketplaceApp):
             status = outcome.pop("status")
             if status == "ok":
                 return ok("checkout", **outcome)
+            if status == "failed":
+                return failed("checkout", **outcome)
             return rejected("checkout", **outcome)
+        return outcome
+
+    def submit_external(self, platform: str, shop_id: int,
+                        ext_order_no: str, customer_id: int,
+                        items: list[dict]):
+        """Idempotent external-order ingestion: dedup registration and
+        order creation commit in one distributed transaction."""
+        from repro.marketplace.logic import ingestion as ingestion_logic
+        shard = self._grain("ingestion",
+                            ingestion_logic.shard_key(platform, shop_id))
+
+        def body(ctx):
+            return shard.call("submit", platform, shop_id, ext_order_no,
+                              customer_id, items, txn=ctx)
+
+        outcome = yield from self._transact("submit_external", body)
+        if isinstance(outcome, dict):
+            status = outcome.pop("status")
+            if status == "ok":
+                return ok("submit_external", **outcome)
+            return rejected("submit_external", **outcome)
+        return outcome
+
+    def request_return(self, customer_id: int, order_id: str):
+        """Return/refund compensation saga as one ACID transaction."""
+        orders = self._grain("order", str(customer_id))
+
+        def body(ctx):
+            return orders.call("process_return", order_id, txn=ctx)
+
+        outcome = yield from self._transact("request_return", body)
+        if isinstance(outcome, dict):
+            status = outcome.pop("status")
+            if status == "ok":
+                return ok("request_return", **outcome)
+            return rejected("request_return", **outcome)
         return outcome
 
     def update_price(self, seller_id: int, product_id: int,
@@ -260,13 +298,14 @@ class OrleansTransactionsApp(MarketplaceApp):
         views: dict[str, dict] = {
             "products": {}, "replicas": {}, "stock": {}, "orders": {},
             "payments": {}, "shipments": {}, "customers": {},
-            "sellers": {}, "carts": {},
+            "sellers": {}, "carts": {}, "ingestion": {},
         }
         service_to_view = {
             "product": "products", "replica": "replicas",
             "stock": "stock", "order": "orders", "payment": "payments",
             "shipment": "shipments", "customer": "customers",
             "seller": "sellers", "cart": "carts",
+            "ingestion": "ingestion",
         }
         type_to_service = {grain_type.__name__: service
                            for service, grain_type in self._grains.items()}

@@ -43,7 +43,8 @@ class StatefunApp(MarketplaceApp):
                 ("stock", fns.StockFn), ("cart", fns.CartFn),
                 ("order", fns.OrderFn), ("payment", fns.PaymentFn),
                 ("shipment", fns.ShipmentFn), ("delivery", fns.DeliveryFn),
-                ("customer", fns.CustomerFn), ("seller", fns.SellerFn)):
+                ("customer", fns.CustomerFn), ("seller", fns.SellerFn),
+                ("ingestion", fns.IngestionFn)):
             self.runtime.register(name, cls(self))
         self.dataset: "Dataset | None" = None
         self.event_log: list[dict] = []
@@ -138,6 +139,28 @@ class StatefunApp(MarketplaceApp):
             order_id)
         return result
 
+    def submit_external(self, platform: str, shop_id: int,
+                        ext_order_no: str, customer_id: int,
+                        items: list[dict]):
+        from repro.marketplace.logic import ingestion as ingestion_logic
+        request_id = self._request_id("ext")
+        result = yield from self._await(
+            "submit_external",
+            ("ingestion", ingestion_logic.shard_key(platform, shop_id)), {
+                "kind": "submit", "platform": platform,
+                "shop_id": shop_id, "ext_order_no": ext_order_no,
+                "customer_id": customer_id, "items": items},
+            request_id)
+        return result
+
+    def request_return(self, customer_id: int, order_id: str):
+        request_id = self._request_id("return")
+        result = yield from self._await(
+            "request_return", ("order", str(customer_id)), {
+                "kind": "request_return", "order_id": order_id},
+            request_id)
+        return result
+
     def update_price(self, seller_id: int, product_id: int,
                      price_cents: int):
         request_id = self._request_id("price")
@@ -186,13 +209,14 @@ class StatefunApp(MarketplaceApp):
         views: dict[str, dict] = {
             "products": {}, "replicas": {}, "stock": {}, "orders": {},
             "payments": {}, "shipments": {}, "customers": {},
-            "sellers": {}, "carts": {},
+            "sellers": {}, "carts": {}, "ingestion": {},
         }
         type_to_view = {
             "product": "products", "replica": "replicas", "stock": "stock",
             "order": "orders", "payment": "payments",
             "shipment": "shipments", "customer": "customers",
             "seller": "sellers", "cart": "carts",
+            "ingestion": "ingestion",
         }
         for worker in self.runtime.workers:
             for (type_name, key), state in worker.state.items():

@@ -18,6 +18,8 @@ from repro.marketplace.constants import OrderStatus
 from repro.marketplace.logic import (
     cart as cart_logic,
     customer as customer_logic,
+    ingestion as ingestion_logic,
+    lifecycle,
     order as order_logic,
     payment as payment_logic,
     product as product_logic,
@@ -129,6 +131,23 @@ class StockFn(_AppFunction):
                 dict(state), payload["quantity"])
             state.clear()
             state.update(updated)
+        elif kind == "allocate":
+            # Reserve-and-confirm in one step (external-order ingestion).
+            ok = False
+            if state and state.get("active", True):
+                free = state["qty_available"] - state["qty_reserved"]
+                if free >= payload["quantity"]:
+                    state["qty_available"] -= payload["quantity"]
+                    ok = True
+            context.send("order", payload["reply_to"], {
+                "kind": "allocate_result", "order_id": payload["order_id"],
+                "key": context.key, "ok": ok})
+        elif kind == "restock":
+            if state:
+                updated = stock_logic.restock(dict(state),
+                                              payload["quantity"])
+                state.clear()
+                state.update(updated)
         elif kind == "deactivate":
             if state:
                 updated = stock_logic.deactivate(dict(state),
@@ -300,6 +319,139 @@ class OrderFn(_AppFunction):
             "method": pending["method"], "reply_to": context.key})
         return None
 
+    # -- external-order ingestion (prepaid, no reservation round) ---------
+    def _ingest_external(self, context, payload, state):
+        order_id = payload["order_id"]
+        state["pending"][order_id] = {
+            "items": payload["items"], "awaiting": len(payload["items"]),
+            "confirmed": [], "ext": payload["ext"], "external": True,
+            "reply_shard": payload["reply_shard"]}
+        for item in payload["items"]:
+            key = f"{item['seller_id']}/{item['product_id']}"
+            context.send("stock", key, {
+                "kind": "allocate", "order_id": order_id,
+                "quantity": item["quantity"], "reply_to": context.key})
+        return None
+
+    def _allocate_result(self, context, payload, state):
+        order_id = payload["order_id"]
+        pending = state["pending"].get(order_id)
+        if pending is None:
+            return None
+        pending["awaiting"] -= 1
+        if payload["ok"]:
+            matched = [item for item in pending["items"]
+                       if f"{item['seller_id']}/{item['product_id']}"
+                       == payload["key"]]
+            pending["confirmed"].extend(matched)
+        if pending["awaiting"] > 0:
+            return None
+        state["pending"].pop(order_id)
+        if not pending["confirmed"]:
+            # Nothing allocated: un-register the dedup entry so a later
+            # submit can retry from scratch.
+            context.send("ingestion", pending["reply_shard"], {
+                "kind": "release", "key": pending["ext"]})
+            context.egress("submit_external",
+                           {"status": "rejected", "reason": "no_stock",
+                            "order_id": order_id})
+            return None
+        base = {key: value for key, value in state.items()
+                if key != "pending"}
+        base, order = order_logic.assemble(
+            base, order_id, pending["confirmed"],
+            context.worker.env.now, ext=pending["ext"])
+        base = order_logic.set_status(
+            base, order_id, OrderStatus.PAYMENT_PROCESSED,
+            context.worker.env.now)
+        self._replace(state, base, pending_map=None)
+        for seller_id in order_logic.seller_ids(order):
+            context.send("seller", str(seller_id), {
+                "kind": "upsert_entry", "order": order})
+            context.send("seller", str(seller_id), {
+                "kind": "update_entry_status", "order_id": order_id,
+                "status": OrderStatus.PAYMENT_PROCESSED})
+        context.send("customer", context.key, {
+            "kind": "record_payment",
+            "amount_cents": order["total_cents"], "approved": True})
+        context.send("shipment", self.app.shipment_partition(order_id), {
+            "kind": "create", "order": order, "external": True})
+        context.egress("submit_external",
+                       {"status": "ok", "order_id": order_id,
+                        "idempotent": False, "invoice": order["invoice"],
+                        "total_cents": order["total_cents"]})
+        return None
+
+    # -- return/refund compensation saga ----------------------------------
+    def _request_return(self, context, payload, state):
+        order_id = payload["order_id"]
+        base = {key: value for key, value in state.items()
+                if key != "pending"}
+        if order_id not in base["orders"]:
+            context.egress("request_return",
+                           {"status": "rejected",
+                            "reason": "unknown_order",
+                            "order_id": order_id})
+            return None
+        order = base["orders"][order_id]
+        if order["status"] != OrderStatus.COMPLETED:
+            context.egress("request_return",
+                           {"status": "rejected",
+                            "reason": "not_completed",
+                            "order_id": order_id,
+                            "state": order["status"]})
+            return None
+        base = order_logic.set_status(
+            base, order_id, OrderStatus.RETURN_REQUESTED,
+            context.worker.env.now)
+        self._replace(state, base, pending_map=None)
+        state["pending"][f"return:{order_id}"] = {
+            "outcome": lifecycle.disposition(order_id)}
+        context.send("payment", order_id, {
+            "kind": "refund", "order_id": order_id,
+            "reply_to": context.key})
+        return None
+
+    def _refund_result(self, context, payload, state):
+        order_id = payload["order_id"]
+        pending = state["pending"].pop(f"return:{order_id}", None)
+        if pending is None:
+            return None
+        if not payload["ok"]:
+            # Order stays in RETURN_REQUESTED — the audit counts it.
+            context.egress("request_return",
+                           {"status": "failed",
+                            "reason": "refund_unreachable",
+                            "order_id": order_id})
+            return None
+        outcome = pending["outcome"]
+        base = {key: value for key, value in state.items()
+                if key != "pending"}
+        for hop in lifecycle.return_hops(outcome)[1:]:
+            base = order_logic.set_status(base, order_id, hop,
+                                          context.worker.env.now)
+        self._replace(state, base, pending_map=None)
+        order = base["orders"][order_id]
+        if outcome != OrderStatus.DEFECT:
+            for item in order["items"]:
+                key = f"{item['seller_id']}/{item['product_id']}"
+                context.send("stock", key, {
+                    "kind": "restock", "quantity": item["quantity"]})
+        for seller_id in order_logic.seller_ids(order):
+            amount = seller_logic.seller_share_cents(order, seller_id)
+            if amount:
+                context.send("seller", str(seller_id), {
+                    "kind": "record_return", "order_id": order_id,
+                    "amount_cents": amount})
+        context.send("customer", context.key, {
+            "kind": "record_refund",
+            "amount_cents": order["total_cents"]})
+        context.egress("request_return",
+                       {"status": "ok", "order_id": order_id,
+                        "outcome": outcome,
+                        "refund_cents": order["total_cents"]})
+        return None
+
     # -- phase 2: payment -------------------------------------------------
     def _payment_result(self, context, payload, state):
         order_id = payload["order_id"]
@@ -317,6 +469,9 @@ class OrderFn(_AppFunction):
                     "kind": "cancel", "quantity": item["quantity"]})
             base = order_logic.set_status(
                 base, order_id, OrderStatus.PAYMENT_FAILED,
+                context.worker.env.now)
+            base = order_logic.set_status(
+                base, order_id, OrderStatus.CANCELED,
                 context.worker.env.now)
             self._replace(state, base, pending_map=None)
             for seller_id in sellers:
@@ -395,20 +550,30 @@ class PaymentFn(_AppFunction):
     """Per-order payment processor."""
 
     def invoke(self, context: Context, payload: dict):
-        if payload["kind"] != "process":
-            return None
-        order = payload["order"]
-        payment = payment_logic.build_payment(
-            order["order_id"], order["customer_id"],
-            order["total_cents"], payload["method"],
-            context.worker.env.now)
-        payment = payment_logic.authorize(payment,
-                                          self.app.config.approval_rate)
-        context.state.clear()
-        context.state.update(payment)
-        context.send("order", payload["reply_to"], {
-            "kind": "payment_result", "order_id": order["order_id"],
-            "approved": payment_logic.is_approved(payment)})
+        kind = payload["kind"]
+        if kind == "process":
+            order = payload["order"]
+            payment = payment_logic.build_payment(
+                order["order_id"], order["customer_id"],
+                order["total_cents"], payload["method"],
+                context.worker.env.now)
+            payment = payment_logic.authorize(
+                payment, self.app.config.approval_rate)
+            context.state.clear()
+            context.state.update(payment)
+            context.send("order", payload["reply_to"], {
+                "kind": "payment_result", "order_id": order["order_id"],
+                "approved": payment_logic.is_approved(payment)})
+        elif kind == "refund":
+            state = context.state
+            done = bool(state) and payment_logic.is_approved(state)
+            if done:
+                updated = payment_logic.refund(dict(state))
+                state.clear()
+                state.update(updated)
+            context.send("order", payload["reply_to"], {
+                "kind": "refund_result", "order_id": payload["order_id"],
+                "ok": done})
         return None
 
 
@@ -438,11 +603,15 @@ class ShipmentFn(_AppFunction):
                     "kind": "update_entry_status",
                     "order_id": order["order_id"],
                     "status": OrderStatus.IN_TRANSIT})
-            context.egress("checkout",
-                           {"status": "ok", "order_id": order["order_id"],
-                            "total_cents": order["total_cents"],
-                            "package_count": count},
-                           effect_id=f"{order['order_id']}:checkout")
+            if not payload.get("external"):
+                # External orders resolve their submit at creation; only
+                # checkouts complete on the shipment egress.
+                context.egress("checkout",
+                               {"status": "ok",
+                                "order_id": order["order_id"],
+                                "total_cents": order["total_cents"],
+                                "package_count": count},
+                               effect_id=f"{order['order_id']}:checkout")
         elif kind == "collect_undelivered":
             summary = []
             for seller_id, when in shipment_logic.undelivered_seller_times(
@@ -547,6 +716,9 @@ class CustomerFn(_AppFunction):
                 dict(state), payload["amount_cents"], payload["approved"])
         elif kind == "record_delivery":
             updated = customer_logic.record_delivery(dict(state))
+        elif kind == "record_refund":
+            updated = customer_logic.record_refund(
+                dict(state), payload["amount_cents"])
         else:
             return None
         state.clear()
@@ -575,6 +747,10 @@ class SellerFn(_AppFunction):
             updated = seller_logic.update_entry_status(
                 dict(state), payload["order_id"], payload["status"],
                 context.worker.env.now)
+        elif kind == "record_return":
+            self.app.record_event(payload["order_id"], "order_returned")
+            updated = seller_logic.record_return(dict(state),
+                                                 payload["amount_cents"])
         elif kind == "dashboard_amount":
             context.egress("dashboard_amount",
                            {"amount_cents":
@@ -589,6 +765,46 @@ class SellerFn(_AppFunction):
             return None
         state.clear()
         state.update(updated)
+        return None
+
+
+class IngestionFn(_AppFunction):
+    """Dedup registry shard for one external ``(platform, shop_id)``.
+
+    Registration and order creation both run under the platform's
+    exactly-once envelope, so a duplicate submit resolves from the
+    registry without ever re-creating the order — the transactional
+    stacks get the same guarantee from atomic commit, the eventual
+    stack gets neither."""
+
+    def invoke(self, context: Context, payload: dict):
+        kind = payload["kind"]
+        state = context.state
+        if not state:
+            state.update(ingestion_logic.new_registry(context.key))
+        if kind == "submit":
+            key = ingestion_logic.dedup_key(
+                payload["platform"], payload["shop_id"],
+                payload["ext_order_no"])
+            updated, order_id, created = ingestion_logic.register(
+                dict(state), key)
+            if not created:
+                context.egress("submit_external",
+                               {"status": "ok", "order_id": order_id,
+                                "idempotent": True})
+                return None
+            state.clear()
+            state.update(updated)
+            context.send("order", str(payload["customer_id"]), {
+                "kind": "ingest_external", "order_id": order_id,
+                "items": payload["items"], "ext": key,
+                "reply_shard": context.key})
+        elif kind == "release":
+            # The order side rejected the ingest (no stock): drop the
+            # registration so a later submit can retry.
+            entries = dict(state["entries"])
+            entries.pop(payload["key"], None)
+            state["entries"] = entries
         return None
 
 

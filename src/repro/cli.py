@@ -60,12 +60,13 @@ from repro.runtime import Environment
 
 def _add_cluster_arguments(parser: argparse.ArgumentParser,
                            silos_default: int | None = 4,
-                           cores_default: int | None = 4) -> None:
+                           cores_default: int | None = 4,
+                           drop_default: float | None = 0.0) -> None:
     parser.add_argument("--silos", type=int, default=silos_default,
                         help="cluster size (silos / partitions)")
     parser.add_argument("--cores", type=int, default=cores_default,
                         help="CPU cores per silo")
-    parser.add_argument("--drop", type=float, default=0.0,
+    parser.add_argument("--drop", type=float, default=drop_default,
                         help="message-loss probability")
     parser.add_argument("--seed", type=int, default=42,
                         help="simulation + dataset RNG seed")
@@ -281,9 +282,12 @@ def cmd_scenario(args: argparse.Namespace,
              else scenario.effective_silos)
     cores = (args.cores if args.cores is not None
              else scenario.effective_cores)
+    drop = args.drop if args.drop is not None \
+        else scenario.drop_probability
     app = ALL_APPS[args.app](env, AppConfig(
         silos=silos, cores_per_silo=cores,
-        drop_probability=args.drop))
+        drop_probability=drop,
+        approval_rate=scenario.approval_rate))
     driver = scenario.build_driver(
         env, app, rate_scale=args.rate_scale,
         duration_scale=args.duration_scale, data_seed=args.seed)
@@ -416,9 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument(
         "--duration-scale", type=float, default=1.0,
         help="stretch or shrink the measured window")
-    # None = let the scenario's pinned cluster shape (if any) apply.
+    # None = let the scenario's pinned cluster shape / fault knobs
+    # (if any) apply.
     _add_cluster_arguments(scenario_parser, silos_default=None,
-                           cores_default=None)
+                           cores_default=None, drop_default=None)
     scenario_parser.set_defaults(func=cmd_scenario)
 
     matrix_parser = subparsers.add_parser(

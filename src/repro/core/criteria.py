@@ -9,9 +9,12 @@ C3  Referential integrity: stock items must refer to existing products.
 C4  Snapshot consistency of the two seller-dashboard queries.
 C5  Causal event ordering: payment events precede shipment events of
     the same order.
+C6  Exactly-once external-order ingestion: every registered
+    ``(platform, shop_id, ext_order_no)`` key maps to exactly one
+    marketplace order (no duplicates, no orphaned registrations).
 
-C2 and C4 are observed online by the driver; C1, C3 and C5 are audited
-post-hoc over the app's state views at quiescence.
+C2 and C4 are observed online by the driver; C1, C3, C5 and C6 are
+audited post-hoc over the app's state views at quiescence.
 """
 
 from __future__ import annotations
@@ -31,12 +34,22 @@ CRITERIA = (
     "C3-integrity",
     "C4-snapshot-dashboard",
     "C5-event-ordering",
+    "C6-exactly-once-ingest",
 )
 
-#: Order statuses that imply the payment succeeded.
+#: Order statuses that imply the payment succeeded and the money is
+#: still with the marketplace (a pending return has not been refunded
+#: yet; RETURNED/REJECTED/DEFECT orders have — their totals no longer
+#: count towards the customer's spend).
 _PAID = (OrderStatus.PAYMENT_PROCESSED, OrderStatus.READY_FOR_SHIPMENT,
          OrderStatus.IN_TRANSIT, OrderStatus.DELIVERED,
-         OrderStatus.COMPLETED)
+         OrderStatus.COMPLETED, OrderStatus.RETURN_REQUESTED,
+         OrderStatus.RETURN_IN_TRANSIT)
+
+#: Non-final return states: a return saga that quiesced here stalled
+#: half way (refund never landed) — an atomicity violation.
+_RETURN_PENDING = (OrderStatus.RETURN_REQUESTED,
+                   OrderStatus.RETURN_IN_TRANSIT)
 
 
 @dataclasses.dataclass
@@ -83,6 +96,7 @@ def audit_app(app: "MarketplaceApp",
         "C1-atomicity": _audit_atomicity(views, max_details),
         "C3-integrity": _audit_integrity(views, max_details),
         "C5-event-ordering": _audit_event_order(views, max_details),
+        "C6-exactly-once-ingest": _audit_exactly_once(views, max_details),
     }
     if driver is not None:
         observations = driver.observations
@@ -123,6 +137,9 @@ def _audit_atomicity(views: dict, max_details: int) -> CriterionResult:
     customer_paid_totals: dict[int, int] = {}
     for order_id, order in _iter_orders(views):
         checked += 1
+        if order["status"] in _RETURN_PENDING:
+            violation(f"order {order_id}: return saga stalled in "
+                      f"{order['status']}")
         if order["status"] in _PAID:
             customer_paid_totals[order["customer_id"]] = (
                 customer_paid_totals.get(order["customer_id"], 0)
@@ -205,4 +222,48 @@ def _audit_event_order(views: dict, max_details: int) -> CriterionResult:
                     f"{subscriber}: order {order_id} shipment event "
                     f"before payment event")
     return CriterionResult("C5-event-ordering", checked, violations,
+                           details)
+
+
+# ---------------------------------------------------------------------------
+# C6: exactly-once external-order ingestion
+# ---------------------------------------------------------------------------
+def _audit_exactly_once(views: dict, max_details: int) -> CriterionResult:
+    """Every registered dedup key <-> exactly one marketplace order.
+
+    A key with two orders means an at-least-once retry double-created
+    (and double-decremented stock); a key with none is an orphaned
+    registration that silently swallows every future submit; an
+    external order without a registration escaped the front door.
+    """
+    orders_by_ext: dict[str, list[str]] = {}
+    for order_id, order in _iter_orders(views):
+        ext = order.get("ext")
+        if ext is not None:
+            orders_by_ext.setdefault(ext, []).append(order_id)
+    checked = 0
+    violations = 0
+    details: list[str] = []
+
+    def violation(message: str) -> None:
+        nonlocal violations
+        violations += 1
+        if len(details) < max_details:
+            details.append(message)
+
+    registered: set[str] = set()
+    for shard in views.get("ingestion", {}).values():
+        for key in shard.get("entries", {}):
+            registered.add(key)
+            checked += 1
+            matching = orders_by_ext.get(key, [])
+            if len(matching) > 1:
+                violation(f"key {key}: duplicate orders "
+                          f"{sorted(matching)}")
+            elif not matching:
+                violation(f"key {key}: registered but no order exists")
+    for key in sorted(set(orders_by_ext) - registered):
+        checked += 1
+        violation(f"key {key}: external order(s) without registration")
+    return CriterionResult("C6-exactly-once-ingest", checked, violations,
                            details)

@@ -12,6 +12,7 @@ observations (C2/C4), same skip accounting.
 
 from __future__ import annotations
 
+import collections
 import itertools
 import typing
 
@@ -30,9 +31,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.driver.metrics import LatencyRecorder
     from repro.runtime import Environment
 
-#: The operations a driver may ask the issuer to perform.
+#: The operations a driver may ask the issuer to perform.  New
+#: operations are appended (mix iteration order feeds the one-draw
+#: operation sampler, so insertion order is part of RNG determinism).
 OPERATIONS = ("checkout", "price_update", "product_delete",
-              "update_delivery", "dashboard")
+              "update_delivery", "dashboard", "submit_external",
+              "request_return")
 
 #: Transaction-mix name -> the operation name the app reports results
 #: under (and therefore the key the recorder's histograms use).  The
@@ -44,6 +48,8 @@ RESULT_OPERATION = {
     "product_delete": "delete_product",
     "update_delivery": "update_delivery",
     "dashboard": "dashboard",
+    "submit_external": "submit_external",
+    "request_return": "request_return",
 }
 
 
@@ -115,9 +121,15 @@ class TransactionIssuer:
         self._mix = workload.mix.normalised()
         self._rng = env.rng("driver-mix")
         self._order_ids = itertools.count(1)
+        self._ext_order_ids = itertools.count(1)
+        #: Checked-out orders eligible for a return request (oldest
+        #: first — they have had the longest time to complete).
+        self.return_pool: collections.deque[tuple[int, str]] = \
+            collections.deque()
         #: Samples taken at or before this simulated time are recorded.
         self.record_until = float("inf")
-        self.skipped = {"empty_cart": 0, "no_lease": 0, "no_reserve": 0}
+        self.skipped = {"empty_cart": 0, "no_lease": 0, "no_reserve": 0,
+                        "no_order": 0}
         # Online consistency observations consumed by the criteria
         # auditors: acknowledged product versions vs. versions actually
         # read into carts, and dashboard query-pair consistency.
@@ -125,7 +137,11 @@ class TransactionIssuer:
         self.acked_deletes: set[str] = set()
         self.observations = {"adds_checked": 0, "stale_adds": 0,
                              "dashboards_checked": 0,
-                             "dashboard_mismatches": 0}
+                             "dashboard_mismatches": 0,
+                             "ext_submits": 0, "ext_duplicate_submits": 0,
+                             "ext_idempotent_hits": 0,
+                             "returns_requested": 0,
+                             "returns_completed": 0}
 
     # ------------------------------------------------------------------
     # operation selection & dispatch
@@ -208,6 +224,8 @@ class TransactionIssuer:
             result = yield from self.app.checkout(customer_id, order_id,
                                                   method)
             self._record(result, started, record)
+            if result.ok:
+                self.return_pool.append((customer_id, order_id))
             return True
         finally:
             self.coordinator.release_customer(customer_id)
@@ -277,6 +295,73 @@ class TransactionIssuer:
             if (result.payload["amount_cents"]
                     != result.payload["entries_total_cents"]):
                 self.observations["dashboard_mismatches"] += 1
+        return True
+
+    def do_submit_external(self, record: bool = True):
+        """Ingest one external-platform order; sometimes submit the
+        same ``(platform, shop, ext_order_no)`` twice concurrently to
+        probe the idempotent front door."""
+        platform = f"p{self._rng.randint(1, self.workload.external_platforms)}"
+        shop_id = self._rng.randint(1, self.workload.external_shops)
+        ext_order_no = f"E{next(self._ext_order_ids):06d}"
+        customer_id = self._rng.choice(self.dataset.customer_ids)
+        n_items = self._rng.randint(1, 2)
+        items = []
+        seen: set[tuple[int, int]] = set()
+        for _ in range(n_items):
+            seller_id, product_id = self.coordinator.sample_product()
+            if (seller_id, product_id) in seen:
+                continue
+            seen.add((seller_id, product_id))
+            items.append({
+                "seller_id": seller_id, "product_id": product_id,
+                "quantity": self._rng.randint(self.workload.min_quantity,
+                                              self.workload.max_quantity),
+                "unit_price_cents": self._rng.randint(
+                    self.workload.min_price_cents,
+                    self.workload.max_price_cents)})
+        duplicate = (self._rng.random()
+                     < self.workload.duplicate_submit_probability)
+        started = self.env.now
+        self.observations["ext_submits"] += 1
+        if duplicate:
+            # Two racing submits of the same key — exactly one may
+            # create the order; the other must resolve to it.
+            self.observations["ext_duplicate_submits"] += 1
+            first = self.env.process(self.app.submit_external(
+                platform, shop_id, ext_order_no, customer_id, items))
+            second = self.env.process(self.app.submit_external(
+                platform, shop_id, ext_order_no, customer_id, items))
+            yield self.env.all_of([first, second])
+            results = [first.value, second.value]
+            result = results[0]
+        else:
+            result = yield from self.app.submit_external(
+                platform, shop_id, ext_order_no, customer_id, items)
+            results = [result]
+        self._record(result, started, record)
+        for outcome in results:
+            if outcome.ok and outcome.payload.get("idempotent"):
+                self.observations["ext_idempotent_hits"] += 1
+        return True
+
+    def do_request_return(self, record: bool = True):
+        """Request a return for the oldest checked-out order."""
+        if not self.return_pool:
+            self.skipped["no_order"] += 1
+            yield self.env.timeout(0.001)
+            return False
+        customer_id, order_id = self.return_pool.popleft()
+        started = self.env.now
+        self.observations["returns_requested"] += 1
+        result = yield from self.app.request_return(customer_id, order_id)
+        self._record(result, started, record)
+        if result.ok:
+            self.observations["returns_completed"] += 1
+        elif result.status == "rejected" \
+                and result.payload.get("reason") == "not_completed":
+            # Not delivered yet: recycle it for a later attempt.
+            self.return_pool.append((customer_id, order_id))
         return True
 
     def _observe_add(self, result, acked_version: int | None,

@@ -270,7 +270,9 @@ def run_cell(cell: MatrixCell) -> CellResult:
         env = Environment(seed=cell.seed)
         app = ALL_APPS[cell.app](env, AppConfig(
             silos=scenario.effective_silos,
-            cores_per_silo=scenario.effective_cores))
+            cores_per_silo=scenario.effective_cores,
+            approval_rate=scenario.approval_rate,
+            drop_probability=scenario.drop_probability))
         driver = scenario.build_driver(
             env, app, rate_scale=cell.rate_scale,
             duration_scale=cell.duration_scale, data_seed=cell.seed)

@@ -28,6 +28,15 @@ Scenarios deliberately stress different axes of the four platforms:
                         load.
 ``rolling-restart``     every original silo is drained and replaced in
                         sequence — the zero-downtime deployment test.
+``return-storm``        delivery-heavy mix with a steady stream of
+                        return requests: the compensation saga under
+                        light message loss.
+``payment-flaky``       15% of payments decline: the payment-failure
+                        abort path (release stock, cancel the order)
+                        on every checkout-carrying stack.
+``duplicate-ingest``    external-platform orders where a third of the
+                        submits race a duplicate: the idempotent front
+                        door and the exactly-once audit.
 
 Rates are expressed relative to ``base_rate`` so one ``--rate-scale``
 knob moves a whole scenario up or down without changing its shape.
@@ -93,6 +102,10 @@ class Scenario:
     #: use these as the app defaults (None = leave the app default).
     cluster_silos: int | None = None
     cluster_cores: int | None = None
+    #: Payment approval rate the scenario runs the app with.
+    approval_rate: float = 1.0
+    #: Message-loss probability the scenario runs the app with.
+    drop_probability: float = 0.0
 
     @property
     def effective_silos(self) -> int:
@@ -321,6 +334,56 @@ _register(Scenario(
         FaultEvent(at=7.5, action="drain_silo", target="silo-3"),
         FaultEvent(at=8.0, action="add_silo"),
     ]),
+))
+
+
+_register(Scenario(
+    name="return-storm",
+    description="Delivery-heavy traffic with a steady stream of return "
+                "requests under light message loss: every completed "
+                "order is a refund candidate, so the compensation saga "
+                "(refund + restock + ledger reversal) runs constantly "
+                "— atomic stacks keep C1, the eventual stack strands "
+                "returns mid-saga.",
+    workload=_default_workload(mix=TransactionMix(
+        checkout=35.0, price_update=5.0, product_delete=1.0,
+        update_delivery=24.0, dashboard=10.0, request_return=25.0)),
+    arrivals=PoissonArrivals,
+    base_rate=120.0,
+    drop_probability=0.01,
+))
+
+_register(Scenario(
+    name="payment-flaky",
+    description="15% of payment authorizations decline: every stack "
+                "must run the payment-failure abort (release stock, "
+                "fail then cancel the order) without leaking "
+                "reservations or spend.",
+    workload=_default_workload(),
+    arrivals=PoissonArrivals,
+    base_rate=120.0,
+    approval_rate=0.85,
+))
+
+_register(Scenario(
+    name="duplicate-ingest",
+    description="External-platform orders dominate and a third of the "
+                "submits race an identical duplicate under heavy "
+                "message loss: the idempotent front door must create "
+                "each (platform, shop, order-no) exactly once — the "
+                "C6 audit proves it on the transactional stacks and "
+                "counts the orphaned/duplicated registrations the "
+                "at-least-once retry leaves behind on the eventual "
+                "one.",
+    workload=_default_workload(
+        duplicate_submit_probability=0.35,
+        mix=TransactionMix(
+            checkout=25.0, price_update=5.0, product_delete=1.0,
+            update_delivery=14.0, dashboard=15.0,
+            submit_external=40.0)),
+    arrivals=PoissonArrivals,
+    base_rate=120.0,
+    drop_probability=0.10,
 ))
 
 

@@ -19,6 +19,12 @@ class TransactionMix:
     product_delete: float = 2.0
     update_delivery: float = 6.0
     dashboard: float = 15.0
+    #: External-order ingestion and return requests default to zero so
+    #: the classic five-transaction profile is unchanged.  New entries
+    #: stay at the END of ``normalised()`` — its iteration order feeds
+    #: the single-draw operation sampler.
+    submit_external: float = 0.0
+    request_return: float = 0.0
 
     def normalised(self) -> dict[str, float]:
         weights = {
@@ -27,6 +33,8 @@ class TransactionMix:
             "product_delete": self.product_delete,
             "update_delivery": self.update_delivery,
             "dashboard": self.dashboard,
+            "submit_external": self.submit_external,
+            "request_return": self.request_return,
         }
         total = sum(weights.values())
         if total <= 0:
@@ -61,6 +69,13 @@ class WorkloadConfig:
     voucher_probability: float = 0.1
     #: Price update magnitude: new = old * U(1 - x, 1 + x).
     price_change_fraction: float = 0.2
+    #: External-platform ingestion shape: how many platforms/shops the
+    #: submit_external mix draws dedup shards from.
+    external_platforms: int = 2
+    external_shops: int = 3
+    #: Probability a submit_external fires the same key twice
+    #: concurrently (the duplicate-ingest probe).
+    duplicate_submit_probability: float = 0.0
     mix: TransactionMix = dataclasses.field(default_factory=TransactionMix)
 
     def __post_init__(self) -> None:

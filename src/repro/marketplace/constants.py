@@ -18,16 +18,75 @@ class OrderStatus:
     DELIVERED = "delivered"
     COMPLETED = "completed"
     CANCELED = "canceled"
+    RETURN_REQUESTED = "return_requested"
+    RETURN_IN_TRANSIT = "return_in_transit"
+    RETURNED = "returned"
+    REJECTED = "rejected"
+    DEFECT = "defect"
 
-    #: Statuses counted by the seller dashboard as "in progress".
-    IN_PROGRESS = (INVOICED, PAYMENT_PROCESSED, READY_FOR_SHIPMENT,
-                   IN_TRANSIT)
+    # IN_PROGRESS, TRANSITIONS and FINAL_STATUSES are attached below,
+    # derived from the transition table so they cannot drift from it.
+
+
+#: Legal order-status transitions.  Every status write goes through
+#: :func:`repro.marketplace.logic.lifecycle.advance`, which consults
+#: this table; a status with no successors is terminal.
+TRANSITIONS: dict[str, tuple[str, ...]] = {
+    OrderStatus.CREATED: (OrderStatus.INVOICED, OrderStatus.CANCELED),
+    OrderStatus.INVOICED: (OrderStatus.PAYMENT_PROCESSED,
+                           OrderStatus.PAYMENT_FAILED,
+                           OrderStatus.CANCELED),
+    OrderStatus.PAYMENT_PROCESSED: (OrderStatus.READY_FOR_SHIPMENT,
+                                    OrderStatus.IN_TRANSIT),
+    OrderStatus.READY_FOR_SHIPMENT: (OrderStatus.IN_TRANSIT,),
+    OrderStatus.IN_TRANSIT: (OrderStatus.DELIVERED, OrderStatus.COMPLETED,
+                             OrderStatus.REJECTED),
+    OrderStatus.DELIVERED: (OrderStatus.COMPLETED,),
+    OrderStatus.COMPLETED: (OrderStatus.RETURN_REQUESTED,),
+    OrderStatus.RETURN_REQUESTED: (OrderStatus.RETURN_IN_TRANSIT,
+                                   OrderStatus.DEFECT),
+    OrderStatus.RETURN_IN_TRANSIT: (OrderStatus.RETURNED,),
+    OrderStatus.PAYMENT_FAILED: (OrderStatus.CANCELED,),
+    OrderStatus.CANCELED: (),
+    OrderStatus.RETURNED: (),
+    OrderStatus.REJECTED: (),
+    OrderStatus.DEFECT: (),
+}
+
+#: Terminal statuses: no outgoing transitions in the table.
+FINAL_STATUSES = frozenset(
+    status for status, successors in TRANSITIONS.items() if not successors)
+
+
+def _reachable(start: str) -> frozenset:
+    """All statuses reachable from ``start`` (inclusive)."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        for successor in TRANSITIONS[frontier.pop()]:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+#: Derived "in progress" set: invoiced (or later) and still able to
+#: reach COMPLETED.  Declaration order of the table keeps it stable.
+OrderStatus.IN_PROGRESS = tuple(
+    status for status in TRANSITIONS
+    if status in _reachable(OrderStatus.INVOICED)
+    and status != OrderStatus.COMPLETED
+    and OrderStatus.COMPLETED in _reachable(status))
+
+OrderStatus.TRANSITIONS = TRANSITIONS
+OrderStatus.FINAL_STATUSES = FINAL_STATUSES
 
 
 class PaymentStatus:
     REQUESTED = "requested"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
+    REFUNDED = "refunded"
 
 
 class PaymentMethod:

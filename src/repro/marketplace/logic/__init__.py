@@ -12,6 +12,8 @@ do not.
 from repro.marketplace.logic import (  # noqa: F401
     cart,
     customer,
+    ingestion,
+    lifecycle,
     order,
     payment,
     product,
@@ -20,5 +22,5 @@ from repro.marketplace.logic import (  # noqa: F401
     stock,
 )
 
-__all__ = ["cart", "customer", "order", "payment", "product", "seller",
-           "shipment", "stock"]
+__all__ = ["cart", "customer", "ingestion", "lifecycle", "order", "payment",
+           "product", "seller", "shipment", "stock"]

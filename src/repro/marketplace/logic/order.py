@@ -10,6 +10,7 @@ from __future__ import annotations
 import typing
 
 from repro.marketplace.constants import OrderStatus
+from repro.marketplace.logic import lifecycle
 
 
 def new_customer_orders(customer_id: int) -> dict:
@@ -18,11 +19,13 @@ def new_customer_orders(customer_id: int) -> dict:
 
 
 def assemble(state: dict, order_id: str, confirmed_items: list[dict],
-             now: float) -> tuple[dict, dict]:
+             now: float, ext: str | None = None) -> tuple[dict, dict]:
     """Create an order from the stock-confirmed items.
 
     Assigns the invoice number from the per-customer sequence, computes
     the total, and records the order.  Returns (new state, order dict).
+    ``ext`` tags orders ingested from an external platform with their
+    ``(platform, shop_id, ext_order_no)`` dedup key.
     """
     if not confirmed_items:
         raise ValueError("an order needs at least one confirmed item")
@@ -38,11 +41,14 @@ def assemble(state: dict, order_id: str, confirmed_items: list[dict],
         "items": [dict(item) for item in confirmed_items],
         "total_cents": total,
         "status": OrderStatus.INVOICED,
+        "history": [OrderStatus.INVOICED],
         "created_at": now,
         "updated_at": now,
         "packages_total": 0,
         "packages_delivered": 0,
     }
+    if ext is not None:
+        order["ext"] = ext
     orders = dict(state["orders"])
     orders[order_id] = order
     return {**state, "next_order": sequence + 1, "orders": orders}, order
@@ -61,14 +67,15 @@ def seller_ids(order: dict) -> list[int]:
 
 def set_status(state: dict, order_id: str, status: str,
                now: float) -> dict:
-    """Transition an order's status; unknown orders raise KeyError."""
+    """Advance an order through the lifecycle state machine.
+
+    Unknown orders raise KeyError; hops not in ``TRANSITIONS`` raise
+    :class:`~repro.marketplace.logic.lifecycle.IllegalTransition`.
+    """
     orders = dict(state["orders"])
     if order_id not in orders:
         raise KeyError(f"unknown order {order_id!r}")
-    order = dict(orders[order_id])
-    order["status"] = status
-    order["updated_at"] = now
-    orders[order_id] = order
+    orders[order_id] = lifecycle.advance(orders[order_id], status, now)
     return {**state, "orders": orders}
 
 
@@ -76,10 +83,8 @@ def record_shipment(state: dict, order_id: str, package_count: int,
                     now: float) -> dict:
     """Mark the order in transit with ``package_count`` packages."""
     orders = dict(state["orders"])
-    order = dict(orders[order_id])
+    order = lifecycle.advance(orders[order_id], OrderStatus.IN_TRANSIT, now)
     order["packages_total"] = package_count
-    order["status"] = OrderStatus.IN_TRANSIT
-    order["updated_at"] = now
     orders[order_id] = order
     return {**state, "orders": orders}
 
@@ -92,9 +97,10 @@ def record_delivery(state: dict, order_id: str, now: float) -> tuple[dict,
     order["packages_delivered"] += 1
     completed = (order["packages_total"] > 0
                  and order["packages_delivered"] >= order["packages_total"])
-    order["status"] = (OrderStatus.COMPLETED if completed
-                       else order["status"])
-    order["updated_at"] = now
+    if completed and order["status"] != OrderStatus.COMPLETED:
+        order = lifecycle.advance(order, OrderStatus.COMPLETED, now)
+    else:
+        order["updated_at"] = now
     orders[order_id] = order
     return {**state, "orders": orders}, completed
 

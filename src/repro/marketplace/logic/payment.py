@@ -55,3 +55,17 @@ def authorize(payment: dict, approval_rate: float = 1.0) -> dict:
 
 def is_approved(payment: dict) -> bool:
     return payment["status"] == PaymentStatus.SUCCEEDED
+
+
+def refund(payment: dict) -> dict:
+    """Reverse a succeeded payment (return/refund compensation).
+
+    Idempotent on an already-refunded payment; refunding a payment
+    that never succeeded is a programming error and raises.
+    """
+    if payment["status"] == PaymentStatus.REFUNDED:
+        return payment
+    if payment["status"] != PaymentStatus.SUCCEEDED:
+        raise ValueError(
+            f"cannot refund payment in status {payment['status']!r}")
+    return {**payment, "status": PaymentStatus.REFUNDED}

@@ -16,7 +16,8 @@ from repro.marketplace.constants import OrderStatus
 
 def new_seller(seller_id: int, name: str = "", city: str = "") -> dict:
     return {"seller_id": seller_id, "name": name, "city": city,
-            "entries": {}, "deliveries": 0, "revenue_cents": 0}
+            "entries": {}, "deliveries": 0, "revenue_cents": 0,
+            "returns": 0}
 
 
 def seller_share_cents(order: dict, seller_id: int) -> int:
@@ -64,6 +65,17 @@ def update_entry_status(state: dict, order_id: str, status: str,
                                       + retired["amount_cents"])
         new_state["deliveries"] = state["deliveries"] + 1
     return new_state
+
+
+def record_return(state: dict, amount_cents: int) -> dict:
+    """Ledger reversal for a returned/defective order's seller share.
+
+    The delivery already happened so ``deliveries`` stands; the revenue
+    recognised at completion is handed back and the return counted.
+    """
+    return {**state,
+            "revenue_cents": state["revenue_cents"] - amount_cents,
+            "returns": state.get("returns", 0) + 1}
 
 
 def _iter_entries(state: dict):

@@ -19,10 +19,12 @@ class StubApp(MarketplaceApp):
         self.op_latency = op_latency
         self.calls = {"add_item": 0, "checkout": 0, "update_price": 0,
                       "delete_product": 0, "update_delivery": 0,
-                      "dashboard": 0}
+                      "dashboard": 0, "submit_external": 0,
+                      "request_return": 0}
         self.versions = {}
         self.deleted = set()
         self.product_adds = {}
+        self.external = {}
 
     def ingest(self, dataset):
         self.dataset = dataset
@@ -68,6 +70,21 @@ class StubApp(MarketplaceApp):
         yield from self._op("dashboard")
         return ok("dashboard", amount_cents=0, entries=[],
                   entries_total_cents=0)
+
+    def submit_external(self, platform, shop_id, ext_order_no,
+                        customer_id, items):
+        yield from self._op("submit_external")
+        key = f"{platform}/{shop_id}/{ext_order_no}"
+        known = key in self.external
+        if not known:
+            self.external[key] = f"x{key}"
+        return ok("submit_external", order_id=self.external[key],
+                  idempotent=known, invoice="x", total_cents=100)
+
+    def request_return(self, customer_id, order_id):
+        yield from self._op("request_return")
+        return ok("request_return", order_id=order_id,
+                  outcome="returned", refund_cents=100)
 
     def audit_views(self):
         return {}

@@ -1,0 +1,100 @@
+"""Regression tests for ``tools/bench_trends.py``.
+
+The trends tool runs in CI after the bench suite; it must degrade
+gracefully when a snapshot directory has no ``BENCH_*.json`` files at
+all, or when an interrupted run left a payload with ``rows: []``.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_trends", ROOT / "tools" / "bench_trends.py")
+bench_trends = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trends)
+
+
+def run_main(argv, capsys):
+    code = bench_trends.main([str(arg) for arg in argv])
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestEmptyInputs:
+    def test_directory_without_artifacts(self, tmp_path, capsys):
+        code, out, _ = run_main([tmp_path], capsys)
+        assert code == 0
+        assert "No `BENCH_*.json` artifacts found" in out
+
+    def test_known_bench_with_empty_rows(self, tmp_path, capsys):
+        (tmp_path / "BENCH_P0_hotpath.json").write_text(json.dumps(
+            {"bench": "p0_hotpath", "rows": []}))
+        code, out, _ = run_main([tmp_path], capsys)
+        assert code == 0
+        assert "## p0_hotpath" in out
+        assert "no rows recorded" in out
+        # Header-only table still renders.
+        assert "| duration_scale |" in out
+
+    def test_unknown_bench_with_empty_rows(self, tmp_path, capsys):
+        (tmp_path / "BENCH_custom.json").write_text(json.dumps(
+            {"bench": "custom_probe", "rows": []}))
+        code, out, _ = run_main([tmp_path], capsys)
+        assert code == 0
+        assert "## custom_probe" in out
+        assert "no rows recorded" in out
+
+    def test_empty_snapshot_next_to_populated_one(self, tmp_path, capsys):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        (old / "BENCH_probe.json").write_text(json.dumps(
+            {"bench": "probe", "rows": [{"case": "a", "events": 10.0}]}))
+        # The *newest* snapshot recorded nothing: layout must fall back
+        # to the older populated one instead of indexing rows[0].
+        (new / "BENCH_probe.json").write_text(json.dumps(
+            {"bench": "probe", "rows": []}))
+        code, out, _ = run_main([old, new], capsys)
+        assert code == 0
+        assert "| case |" in out
+        assert "| a | 10 | — |" in out
+
+    def test_malformed_json_skipped_with_warning(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        code, out, err = run_main([tmp_path], capsys)
+        assert code == 0
+        assert "warning: skipping" in err
+        assert "No `BENCH_*.json` artifacts found" in out
+
+    def test_missing_source_still_errors(self, tmp_path, capsys):
+        code, _, err = run_main([tmp_path / "nope"], capsys)
+        assert code == 2
+        assert "does not exist" in err
+
+
+class TestPopulatedSnapshots:
+    def test_two_snapshots_align_rows(self, tmp_path, capsys):
+        old = tmp_path / "pr3"
+        old.mkdir()
+        (old / "BENCH_P0_hotpath.json").write_text(json.dumps(
+            {"bench": "p0_hotpath",
+             "rows": [{"duration_scale": 0.5,
+                       "events_per_wall_s": 1000.0,
+                       "tx_per_wall_s": 100.0}]}))
+        new = tmp_path / "pr4"
+        new.mkdir()
+        (new / "BENCH_P0_hotpath.json").write_text(json.dumps(
+            {"bench": "p0_hotpath",
+             "rows": [{"duration_scale": 0.5,
+                       "events_per_wall_s": 2000.0,
+                       "tx_per_wall_s": 150.0}]}))
+        code, out, _ = run_main([old, new], capsys)
+        assert code == 0
+        assert "pr3 events/s" in out
+        assert "pr4 events/s" in out
+        assert "| 0.5 | 1,000 | 100 | 2,000 | 150 |" in out

@@ -74,8 +74,15 @@ mutations = st.lists(
 
 
 def apply_program(target, program):
-    """Apply a mutation program to a mapping (view or plain dict)."""
+    """Apply a mutation program to a mapping (view or plain dict).
+
+    Values are deep-copied per application: the same program is applied
+    to both a view and a reference dict, and a shared mutable value
+    would couple the two runs (an append through one leaks into the
+    other's input), producing false mismatches.
+    """
     for op, key, value in program:
+        value = copy.deepcopy(value)
         if op == "set":
             target[key] = value
         elif op == "del":

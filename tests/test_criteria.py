@@ -199,7 +199,8 @@ class TestAuditApp:
     def test_audit_without_driver_covers_posthoc_criteria(self):
         report = audit_app(self.FakeApp())
         assert set(report.results) == {
-            "C1-atomicity", "C3-integrity", "C5-event-ordering"}
+            "C1-atomicity", "C3-integrity", "C5-event-ordering",
+            "C6-exactly-once-ingest"}
         assert report.all_pass
 
     def test_audit_with_driver_adds_online_criteria(self):

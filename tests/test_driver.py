@@ -51,7 +51,13 @@ class TestLifecycle:
         assert executed > recorded > 0
 
     def test_all_operation_types_submitted(self):
-        env, app, driver = make_driver(duration=2.0)
+        # The ingestion/return operations default to weight 0, so give
+        # every operation a slice to prove all seven dispatch paths.
+        mix = TransactionMix(checkout=50, price_update=12,
+                             product_delete=2, update_delivery=10,
+                             dashboard=10, submit_external=10,
+                             request_return=6)
+        env, app, driver = make_driver(duration=2.0, mix=mix)
         driver.run()
         for name, count in app.calls.items():
             assert count > 0, name

@@ -209,6 +209,8 @@ class TestOrder:
         state, _ = logic.order.assemble(
             state, "o1", [item(seller=1), item(seller=2, product=2)],
             now=0.0)
+        state = logic.order.set_status(state, "o1",
+                                       OrderStatus.PAYMENT_PROCESSED, 0.5)
         state = logic.order.record_shipment(state, "o1", 2, now=1.0)
         state, done = logic.order.record_delivery(state, "o1", now=2.0)
         assert not done

@@ -81,6 +81,8 @@ def _label(path: pathlib.Path) -> str:
 def _row_layout(bench: str, rows: list[dict]):
     if bench in _LAYOUTS:
         return _LAYOUTS[bench]
+    if not rows:
+        return None, []
     first = next(iter(rows[0]), None)
     metrics = [(field, field) for field in rows[0]
                if field != first and isinstance(rows[0][field], (int, float))]
@@ -102,9 +104,15 @@ def render(snapshots: list[tuple[str, dict[str, dict]]]) -> str:
     for bench in bench_names:
         holders = [(label, benches[bench]) for label, benches in snapshots
                    if bench in benches]
-        key_field, metrics = _row_layout(
-            bench, holders[-1][1]["rows"])
+        # Lay the table out from the newest snapshot that actually has
+        # rows — an interrupted run may legitimately record none.
+        layout_rows = next(
+            (payload["rows"] for _, payload in reversed(holders)
+             if payload["rows"]), [])
+        key_field, metrics = _row_layout(bench, layout_rows)
         out += [f"## {bench}", ""]
+        if not layout_rows:
+            out += ["*(no rows recorded in any snapshot)*", ""]
         if bench == "m0_matrix":
             # Matrix speedup is a whole-run number, not per-row.
             summary = ", ".join(
