@@ -17,11 +17,13 @@ def run_sweep():
     series = {name: [] for name in APPS}
     for name in APPS:
         for silos in SILO_SWEEP:
-            metrics, _, _ = run_experiment(
+            metrics, _, app = run_experiment(
                 name, workers=silos * 32, duration=1.2, seed=17,
                 silos=silos, cores_per_silo=2,
                 workload_kwargs={"customers": 96})
-            series[name].append(metrics.total_throughput)
+            working_set = app.runtime_stats()["working_set"]
+            series[name].append((metrics.total_throughput,
+                                 working_set["peak_resident"]))
     return series
 
 
@@ -30,21 +32,25 @@ def test_f4_scalability(benchmark):
     series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     rows = []
     for name in APPS:
-        base = series[name][0]
+        base = series[name][0][0]
         row = {"app": name}
-        for silos, tput in zip(SILO_SWEEP, series[name]):
+        for silos, (tput, peak) in zip(SILO_SWEEP, series[name]):
             row[f"{silos} silos (tx/s)"] = round(tput, 1)
             row[f"{silos}x speedup"] = round(tput / base, 2)
+            # Memory footprint proxy: peak concurrently resident
+            # grain activations / function addresses.
+            row[f"{silos}x peak resident"] = peak
         rows.append(row)
     print_table("F4: throughput scaling with cluster size", rows)
 
     # Both scale up with more silos...
     for name in APPS:
-        assert series[name][-1] > series[name][0]
+        assert series[name][-1][0] > series[name][0][0]
     # ...but statefun scales worse than the eventual actor baseline
     # (checkpoint barriers are global: they stall every partition).
-    eventual_speedup = series["orleans-eventual"][-1] / \
-        series["orleans-eventual"][0]
-    statefun_speedup = series["statefun"][-1] / series["statefun"][0]
+    eventual_speedup = series["orleans-eventual"][-1][0] / \
+        series["orleans-eventual"][0][0]
+    statefun_speedup = series["statefun"][-1][0] / \
+        series["statefun"][0][0]
     assert eventual_speedup > statefun_speedup, (
         eventual_speedup, statefun_speedup)

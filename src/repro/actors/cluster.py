@@ -34,6 +34,7 @@ from repro.actors.placement import ConsistentHashPlacement, GrainDirectory
 from repro.actors.silo import Message, Silo, SiloState
 from repro.actors.storage import GrainStorage, MemoryGrainStorage
 from repro.broker import Broker
+from repro.cow import clone as cow_clone
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime import Environment, Event
@@ -67,6 +68,15 @@ class ClusterConfig:
     #: the outage window the fault scenarios measure.  Drains are
     #: coordinated and skip this; 0 evicts crashes instantly too.
     failure_detection_delay: float = 1.0
+    #: Working-set budget: max resident activations per silo.  None
+    #: (the default) keeps the historical grow-forever behaviour.
+    #: Under a budget, a periodic sweep deactivates least-recently-used
+    #: quiet grains above the limit: storage-backed state persists to
+    #: its own provider, volatile pageable state to the pager store;
+    #: re-activation transparently re-reads it.
+    activation_limit: int | None = None
+    #: Sweep interval of the working-set eviction loop.
+    working_set_sweep: float = 0.05
 
 
 @dataclasses.dataclass
@@ -93,6 +103,67 @@ class MembershipStats:
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class WorkingSetStats:
+    """Counters of the activation working-set control loop."""
+
+    #: Activations ever created (eager ingest + on-demand + reloads).
+    activations: int = 0
+    #: Activations deactivated by the working-set sweep.
+    evictions: int = 0
+    #: Re-activations that restored paged volatile state.
+    reloads: int = 0
+    #: High-water mark of concurrently resident activations.
+    peak_resident: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class _WorkingSetPager:
+    """Holds paged-out volatile grain state (models external storage).
+
+    Payloads are detached clones on both sides of the boundary, so a
+    resident grain and its paged copy can never alias.  Latencies mirror
+    the default grain storage: eviction pays a write, re-activation a
+    read — the cost that makes an activation budget a real trade-off.
+    """
+
+    def __init__(self, env: "Environment",
+                 read_latency: float = 0.0002,
+                 write_latency: float = 0.0004) -> None:
+        self.env = env
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self._data: dict[tuple[str, str], dict] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def write(self, ident: tuple[str, str], payload: dict):
+        yield self.env.timeout(self.write_latency)
+        self.writes += 1
+        self._data[ident] = cow_clone(payload)
+
+    def read(self, ident: tuple[str, str]):
+        yield self.env.timeout(self.read_latency)
+        self.reads += 1
+        payload = self._data.pop(ident, None)
+        return cow_clone(payload) if payload is not None else None
+
+    def store(self, ident: tuple[str, str], payload: dict) -> None:
+        """Zero-latency overwrite — refreshes a snapshot whose write
+        latency was already paid by :meth:`write`."""
+        self._data[ident] = cow_clone(payload)
+
+    def peek(self, ident: tuple[str, str]) -> dict | None:
+        """Zero-latency audit access (detached copy)."""
+        payload = self._data.get(ident)
+        return cow_clone(payload) if payload is not None else None
+
+    def idents(self) -> list[tuple[str, str]]:
+        return list(self._data)
 
 
 class Cluster:
@@ -133,6 +204,18 @@ class Cluster:
         self.membership = MembershipStats()
         #: Timeline of membership events: (time, event, silo name).
         self.membership_log: list[tuple[float, str, str]] = []
+        #: Working-set accounting (always counted; kept out of
+        #: membership_stats so reported payloads are unchanged).
+        self.working_set = WorkingSetStats()
+        self.pager = _WorkingSetPager(env)
+        #: Idents with a live paged copy awaiting re-activation.  Only
+        #: successful evictions register here, so an eviction aborted
+        #: mid-write can never resurrect a stale snapshot.
+        self._paged: set[tuple[str, str]] = set()
+        self._activation_limit: int | None = None
+        if self.config.activation_limit is not None:
+            self.enable_working_set_limit(self.config.activation_limit,
+                                          self.config.working_set_sweep)
 
     # ------------------------------------------------------------------
     # registries
@@ -574,6 +657,130 @@ class Cluster:
             return False  # changed under the hooks; retried later
         silo.deactivate(type(grain).__name__, grain.key)
         return True
+
+    # ------------------------------------------------------------------
+    # working-set control (LRU deactivation under an activation budget)
+    # ------------------------------------------------------------------
+    def enable_working_set_limit(self, activation_limit: int,
+                                 sweep_interval: float = 0.05) -> None:
+        """Keep each silo at or below ``activation_limit`` residents.
+
+        A periodic sweep deactivates least-recently-used quiet grains
+        above the budget.  Storage-backed grains persist through their
+        own provider (the existing deactivation path); volatile grains
+        that declare ``paged_attrs`` page out to the pager store and
+        are restored on re-activation.  Volatile grains that refuse to
+        page (no ``paged_attrs``, or locks held) stay resident — the
+        budget is a target, not a hard cap.
+        """
+        if activation_limit < 1:
+            raise ValueError("activation_limit must be >= 1")
+        if sweep_interval <= 0:
+            raise ValueError("sweep_interval must be > 0")
+        self._activation_limit = activation_limit
+        self.env.process(
+            self._working_set_loop(activation_limit, sweep_interval),
+            name="working-set")
+
+    @property
+    def working_set_limited(self) -> bool:
+        return self._activation_limit is not None
+
+    def note_activation(self, silo: Silo) -> None:
+        """Activation-creation bookkeeping (called by the silo)."""
+        stats = self.working_set
+        stats.activations += 1
+        resident = self.total_activations
+        if resident > stats.peak_resident:
+            stats.peak_resident = resident
+
+    def _working_set_loop(self, limit: int, sweep_interval: float):
+        while True:
+            yield self.env.timeout(sweep_interval)
+            for silo in self.silos:
+                if silo.state != SiloState.RUNNING:
+                    continue  # draining silos hand off their own grains
+                excess = silo.activation_count - limit
+                if excess <= 0:
+                    continue
+                for activation in self._lru_victims(silo, excess):
+                    yield from self._page_out_activation(silo, activation)
+
+    def _lru_victims(self, silo: Silo, count: int) -> list:
+        """The ``count`` least-recently-used quiet activations."""
+        quiet = [activation for activation in silo.activations.values()
+                 if not activation.mailbox and not activation.busy
+                 and not activation.collected]
+        quiet.sort(key=lambda activation: activation.last_activity)
+        return quiet[:count]
+
+    def _page_out_activation(self, silo: Silo,
+                             activation) -> typing.Generator:
+        """Evict one activation under the working-set budget.
+
+        Storage-backed grains reuse the shared deactivation path.
+        Volatile grains snapshot their ``paged_attrs``, pay the pager
+        write, and only then deactivate; if the grain became busy while
+        the write was in flight the eviction aborts and — crucially —
+        the ident is never registered as paged, so the stale snapshot
+        is unreachable and the sweep simply retries later.
+        """
+        if activation.collected:
+            return False
+        grain = activation.grain
+        type_name = type(grain).__name__
+        if grain.storage_name is not None:
+            done = yield from self._deactivate(silo, activation)
+            if done:
+                self.working_set.evictions += 1
+            return done
+        paged = grain.page_out()
+        if paged is None:
+            return False  # not pageable; stays resident
+        if not activation.deactivate_hook_ran:
+            hook = grain.on_deactivate()
+            if inspect.isgenerator(hook):
+                yield from hook
+            activation.deactivate_hook_ran = True
+        ident = (type_name, grain.key)
+        yield from self.pager.write(ident, paged)
+        if activation.collected or activation.mailbox or activation.busy:
+            return False  # got busy during the write; retried later
+        # Work may have started AND finished inside the write latency
+        # window, leaving the grain quiet but the snapshot stale —
+        # re-snapshot before committing to the eviction.
+        fresh = grain.page_out()
+        if fresh is None:
+            return False  # mid-transaction again; retried later
+        if fresh != paged:
+            self.pager.store(ident, fresh)
+        silo.deactivate(type_name, grain.key)
+        self._paged.add(ident)
+        self.working_set.evictions += 1
+        return True
+
+    def page_in(self, grain: Grain) -> typing.Generator:
+        """Restore paged volatile state at re-activation (process
+        helper, called from ``Activation._start``)."""
+        ident = (type(grain).__name__, grain.key)
+        if ident not in self._paged:
+            return
+        self._paged.discard(ident)
+        payload = yield from self.pager.read(ident)
+        if payload is not None:
+            grain.page_in(payload)
+            self.working_set.reloads += 1
+
+    def paged_states(self) -> dict[tuple[str, str], dict]:
+        """Paged-out volatile state for audits (detached copies)."""
+        return {ident: self.pager.peek(ident) for ident in self._paged}
+
+    def working_set_stats(self) -> dict:
+        """Working-set counters plus the current resident population."""
+        return dict(self.working_set.as_dict(),
+                    resident=self.total_activations,
+                    paged=len(self._paged),
+                    limit=self._activation_limit)
 
     # ------------------------------------------------------------------
     # introspection

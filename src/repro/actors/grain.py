@@ -35,6 +35,14 @@ class Grain:
     cpu_cost: float = 0.0001
     storage_name: str | None = None
     reentrant: bool = False
+    #: Instance attributes captured by the working-set pager when a
+    #: volatile (non-storage-backed) grain is deactivated under an
+    #: activation budget, and restored on re-activation.  Empty means
+    #: the grain is not pageable: evicting it would destroy state, so
+    #: the working-set sweep leaves it resident.  Storage-backed grains
+    #: ignore this — their own storage provider already persists
+    #: ``self.state``.
+    paged_attrs: tuple[str, ...] = ()
 
     def __init__(self) -> None:
         # Filled in by the runtime at activation time.
@@ -56,6 +64,26 @@ class Grain:
     def on_deactivate(self):
         """Override to run logic at deactivation (may be a generator)."""
         return None
+
+    # ------------------------------------------------------------------
+    # working-set paging (volatile grains under an activation budget)
+    # ------------------------------------------------------------------
+    def page_out(self) -> dict | None:
+        """Capture volatile state for the working-set pager.
+
+        Returns the attribute snapshot to persist, or None to refuse
+        paging (the default for grains that declare no ``paged_attrs``,
+        and for grains whose state must not leave memory right now —
+        e.g. a transactional grain holding locks).
+        """
+        if not self.paged_attrs:
+            return None
+        return {attr: getattr(self, attr) for attr in self.paged_attrs}
+
+    def page_in(self, paged: dict) -> None:
+        """Restore the snapshot captured by :meth:`page_out`."""
+        for attr, value in paged.items():
+            setattr(self, attr, value)
 
     # ------------------------------------------------------------------
     # helpers available inside grain methods

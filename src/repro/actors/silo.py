@@ -153,6 +153,11 @@ class Activation:
                                                 grain.key)
                 if state is not None:
                     grain.state = state
+            elif grain.cluster.working_set_limited:
+                # Volatile grain evicted under the activation budget:
+                # reload the paged snapshot (no-op — zero events — when
+                # the grain was never paged out).
+                yield from grain.cluster.page_in(grain)
             if self.defunct:
                 return  # silo crashed during the state read
             hook = grain.on_activate()
@@ -345,6 +350,7 @@ class Silo:
             grain.key = key
             activation = Activation(self.env, self, grain)
             self.activations[ident] = activation
+            cluster.note_activation(self)
             if self.directory is not None:
                 self.directory.register(grain_type.__name__, key, self,
                                         cluster.placement.epoch)
@@ -370,6 +376,7 @@ class Silo:
         grain.silo = self
         activation = Activation(self.env, self, grain, adopted=True)
         self.activations[ident] = activation
+        cluster.note_activation(self)
         if self.directory is not None:
             self.directory.register(ident[0], ident[1], self,
                                     cluster.placement.epoch)

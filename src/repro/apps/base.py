@@ -30,6 +30,12 @@ class AppConfig:
     replication_lag: float = 0.0005
     #: Checkpoint interval (statefun app only; 0 disables).
     checkpoint_interval: float = 0.5
+    #: Working-set budget: max resident grain activations per silo
+    #: (statefun: max resident addresses per worker).  None = unbounded,
+    #: the historical behaviour.  Under a budget, least-recently-used
+    #: idle grains persist their state and deactivate; re-activation
+    #: re-reads it (see ``actors/cluster.py``).
+    activation_limit: int | None = None
 
 
 @dataclasses.dataclass
@@ -54,17 +60,90 @@ class MarketplaceApp:
                  config: AppConfig | None = None) -> None:
         self.env = env
         self.config = config or AppConfig()
+        self.dataset: "Dataset | None" = None
+        self._touched_sellers: set[int] = set()
+        self._touched_customers: set[int] = set()
+        self._touched_products: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def ingest(self, dataset: "Dataset") -> None:
-        """Install the generated dataset (zero simulated latency).
+        """Install the dataset (zero simulated latency).
 
-        Ingestion happens before the measured window, so implementations
+        Eager datasets are installed up front in the historical order —
+        every product (with its replica state), then stock, sellers,
+        customers — via the per-record ``_ingest_*`` hooks each
+        implementation provides.  Lazy datasets install nothing here;
+        records arrive through :meth:`touch_product` & co. on first use.
+        Ingestion models out-of-band data loading, so implementations
         install state directly rather than spending simulated time.
         """
+        self.dataset = dataset
+        if not getattr(dataset, "lazy", False):
+            for product in dataset.all_products():
+                self._ingest_product(product)
+            for key, stock_item in dataset.stock.items():
+                self._ingest_stock(stock_item)
+            for seller in dataset.sellers:
+                self._ingest_seller(seller)
+            for customer in dataset.customers:
+                self._ingest_customer(customer)
+        self._post_ingest()
+
+    # Per-record ingestion hooks.  Implementations override these; the
+    # base ingest driver (eager path) and the touch_* methods (lazy
+    # path) share them so both paths install identical state.
+    def _ingest_product(self, product) -> None:
         raise NotImplementedError
+
+    def _ingest_stock(self, stock_item) -> None:
+        raise NotImplementedError
+
+    def _ingest_seller(self, seller) -> None:
+        raise NotImplementedError
+
+    def _ingest_customer(self, customer) -> None:
+        raise NotImplementedError
+
+    def _post_ingest(self) -> None:
+        """Hook run once after ingestion (eager or lazy)."""
+
+    # ------------------------------------------------------------------
+    # on-demand ingestion (lazy datasets)
+    # ------------------------------------------------------------------
+    def touch_seller(self, seller_id: int) -> None:
+        """Ensure the seller's record is installed (no-op when eager)."""
+        dataset = self.dataset
+        if dataset is None or not dataset.lazy:
+            return
+        if seller_id in self._touched_sellers:
+            return
+        self._touched_sellers.add(seller_id)
+        self._ingest_seller(dataset.seller(seller_id))
+
+    def touch_customer(self, customer_id: int) -> None:
+        """Ensure the customer's record is installed (no-op when eager)."""
+        dataset = self.dataset
+        if dataset is None or not dataset.lazy:
+            return
+        if customer_id in self._touched_customers:
+            return
+        self._touched_customers.add(customer_id)
+        self._ingest_customer(dataset.customer(customer_id))
+
+    def touch_product(self, seller_id: int, product_id: int) -> None:
+        """Ensure the product, its stock and its seller are installed."""
+        dataset = self.dataset
+        if dataset is None or not dataset.lazy:
+            return
+        key = (seller_id, product_id)
+        if key in self._touched_products:
+            return
+        self._touched_products.add(key)
+        self.touch_seller(seller_id)
+        self._ingest_product(dataset.product(seller_id, product_id))
+        self._ingest_stock(dataset.stock_item(seller_id, product_id))
 
     # ------------------------------------------------------------------
     # workload operations (process helpers)

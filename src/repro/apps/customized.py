@@ -100,17 +100,20 @@ class CustomizedOrleansApp(OrleansTransactionsApp):
     # ------------------------------------------------------------------
     # ingestion: also seed the KV replica tier
     # ------------------------------------------------------------------
-    def ingest(self, dataset: "Dataset") -> None:
-        super().ingest(dataset)
-        for product in dataset.all_products():
-            data = product.as_dict()
-            self.kv.primary.put_now(product.key, {
+    def _ingest_product(self, product) -> None:
+        # Seed the KV replica tier alongside the transactional grains;
+        # put_now is a latency-free ingestion shortcut, so folding it
+        # into the per-record hook keeps on-demand (lazy) touches and
+        # up-front ingestion behaviourally identical.
+        super()._ingest_product(product)
+        data = product.as_dict()
+        self.kv.primary.put_now(product.key, {
+            "price_cents": data["price_cents"],
+            "version": data["version"], "active": data["active"]})
+        for replica in self.kv.replicas:
+            replica.store.put_now(product.key, {
                 "price_cents": data["price_cents"],
                 "version": data["version"], "active": data["active"]})
-            for replica in self.kv.replicas:
-                replica.store.put_now(product.key, {
-                    "price_cents": data["price_cents"],
-                    "version": data["version"], "active": data["active"]})
 
     # ------------------------------------------------------------------
     # price/catalogue operations also update the KV replica tier

@@ -39,6 +39,10 @@ def _safe_call(grain: Grain, promise):
 class ProductGrain(Grain):
     """Authoritative product record (source of truth for price)."""
 
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
+
     def __init__(self) -> None:
         super().__init__()
         self.data: dict | None = None
@@ -77,6 +81,10 @@ class ProductGrain(Grain):
 
 class ReplicaGrain(Grain):
     """Cart-side replica of product price/existence (eventually fresh)."""
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -117,6 +125,10 @@ class ReplicaGrain(Grain):
 
 class StockGrain(Grain):
     """Inventory item with the reserve/confirm/cancel protocol."""
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -175,6 +187,10 @@ class StockGrain(Grain):
 class CartGrain(Grain):
     """Per-customer cart; prices come from the cart-side replicas."""
 
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
+
     def __init__(self) -> None:
         super().__init__()
         self.data: dict | None = None
@@ -219,6 +235,10 @@ class CartGrain(Grain):
 
 class OrderGrain(Grain):
     """Per-customer order manager: the checkout orchestrator."""
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -429,6 +449,10 @@ class OrderGrain(Grain):
 class PaymentGrain(Grain):
     """Per-order payment processor."""
 
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
+
     def __init__(self) -> None:
         super().__init__()
         self.data: dict | None = None
@@ -455,6 +479,10 @@ class PaymentGrain(Grain):
 
 class ShipmentGrain(Grain):
     """A shipment partition holding many orders' packages."""
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -511,6 +539,10 @@ class ShipmentGrain(Grain):
 class CustomerGrain(Grain):
     """Customer profile and running statistics."""
 
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
+
     def __init__(self) -> None:
         super().__init__()
         self.data: dict | None = None
@@ -553,6 +585,10 @@ class CustomerGrain(Grain):
 
 class SellerGrain(Grain):
     """Seller profile plus the dashboard's materialised view."""
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -621,6 +657,10 @@ class IngestionGrain(Grain):
     (and decrements stock twice) — the exactly-once anomaly the C6
     audit quantifies on this stack.
     """
+
+    #: All state lives in ``data`` -> pageable under an
+    #: activation budget.
+    paged_attrs = ("data",)
 
     def __init__(self) -> None:
         super().__init__()

@@ -41,7 +41,9 @@ class OrleansEventualApp(MarketplaceApp):
         self.cluster = Cluster(env, ClusterConfig(
             silos=self.config.silos,
             cores_per_silo=self.config.cores_per_silo,
-            drop_probability=self.config.drop_probability), broker=broker)
+            drop_probability=self.config.drop_probability,
+            activation_limit=self.config.activation_limit),
+            broker=broker)
         self.cluster.app = self
         self._grains = dict(grains.EVENTUAL_GRAINS)
         for grain_type in self._grains.values():
@@ -90,26 +92,28 @@ class OrleansEventualApp(MarketplaceApp):
     # ------------------------------------------------------------------
     # ingestion (zero simulated latency; happens before the run)
     # ------------------------------------------------------------------
-    def ingest(self, dataset: "Dataset") -> None:
-        self.dataset = dataset
-        for product in dataset.all_products():
-            data = product.as_dict()
-            self._install("product", product.key, {"data": data})
-            self._install("replica", product.key, {"data": {
-                "price_cents": data["price_cents"],
-                "version": data["version"], "active": data["active"]}})
-        for key, stock_item in dataset.stock.items():
-            self._install("stock", key, {"data": stock_item.as_dict()})
-        for seller in dataset.sellers:
-            from repro.marketplace.logic import seller as seller_logic
-            self._install("seller", str(seller.seller_id), {
-                "data": seller_logic.new_seller(
-                    seller.seller_id, seller.name, seller.city)})
-        for customer in dataset.customers:
-            from repro.marketplace.logic import customer as customer_logic
-            self._install("customer", str(customer.customer_id), {
-                "data": customer_logic.new_customer(
-                    customer.customer_id, customer.name, customer.city)})
+    def _ingest_product(self, product) -> None:
+        data = product.as_dict()
+        self._install("product", product.key, {"data": data})
+        self._install("replica", product.key, {"data": {
+            "price_cents": data["price_cents"],
+            "version": data["version"], "active": data["active"]}})
+
+    def _ingest_stock(self, stock_item) -> None:
+        self._install("stock", stock_item.key,
+                      {"data": stock_item.as_dict()})
+
+    def _ingest_seller(self, seller) -> None:
+        from repro.marketplace.logic import seller as seller_logic
+        self._install("seller", str(seller.seller_id), {
+            "data": seller_logic.new_seller(
+                seller.seller_id, seller.name, seller.city)})
+
+    def _ingest_customer(self, customer) -> None:
+        from repro.marketplace.logic import customer as customer_logic
+        self._install("customer", str(customer.customer_id), {
+            "data": customer_logic.new_customer(
+                customer.customer_id, customer.name, customer.city)})
 
     def _install(self, service: str, key: str,
                  attrs: dict[str, object]) -> None:
@@ -280,6 +284,15 @@ class OrleansEventualApp(MarketplaceApp):
                 data = getattr(activation.grain, "data", None)
                 if data is not None:
                     views[service_to_view[service]][key] = data
+        # Grains paged out under the activation budget are still part
+        # of the logical state the audits check.
+        for (type_name, key), paged in self.cluster.paged_states().items():
+            service = _TYPE_TO_SERVICE.get(type_name)
+            if service is None or not paged:
+                continue
+            data = paged.get("data")
+            if data is not None:
+                views[service_to_view[service]].setdefault(key, data)
         views["event_log"] = [
             {"subscriber": name, "time": when,
              "order_id": envelope.key, "kind": envelope.payload["kind"]}
@@ -294,6 +307,7 @@ class OrleansEventualApp(MarketplaceApp):
             "activations": self.cluster.total_activations,
             "membership": self.cluster.membership_stats(),
             "utilisation": self.cluster.utilisation(),
+            "working_set": self.cluster.working_set_stats(),
         }
 
 

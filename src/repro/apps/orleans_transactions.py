@@ -41,7 +41,9 @@ class OrleansTransactionsApp(MarketplaceApp):
         self.cluster = Cluster(env, ClusterConfig(
             silos=self.config.silos,
             cores_per_silo=self.config.cores_per_silo,
-            drop_probability=self.config.drop_probability), broker=broker)
+            drop_probability=self.config.drop_probability,
+            activation_limit=self.config.activation_limit),
+            broker=broker)
         self.cluster.app = self
         self.runner = TransactionRunner(self.cluster, txn_config)
         self._grains = dict(TXN_GRAINS)
@@ -82,29 +84,28 @@ class OrleansTransactionsApp(MarketplaceApp):
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def ingest(self, dataset: "Dataset") -> None:
-        from repro.marketplace.logic import (
-            customer as customer_logic,
-            seller as seller_logic,
-        )
-        self.dataset = dataset
-        for product in dataset.all_products():
-            data = product.as_dict()
-            self._install("product", product.key, data)
-            self._install("replica", product.key, {
-                "price_cents": data["price_cents"],
-                "version": data["version"], "active": data["active"]})
-        for key, stock_item in dataset.stock.items():
-            self._install("stock", key, stock_item.as_dict())
-        for seller in dataset.sellers:
-            self._install("seller", str(seller.seller_id),
-                          seller_logic.new_seller(
-                              seller.seller_id, seller.name, seller.city))
-        for customer in dataset.customers:
-            self._install("customer", str(customer.customer_id),
-                          customer_logic.new_customer(
-                              customer.customer_id, customer.name,
-                              customer.city))
+    def _ingest_product(self, product) -> None:
+        data = product.as_dict()
+        self._install("product", product.key, data)
+        self._install("replica", product.key, {
+            "price_cents": data["price_cents"],
+            "version": data["version"], "active": data["active"]})
+
+    def _ingest_stock(self, stock_item) -> None:
+        self._install("stock", stock_item.key, stock_item.as_dict())
+
+    def _ingest_seller(self, seller) -> None:
+        from repro.marketplace.logic import seller as seller_logic
+        self._install("seller", str(seller.seller_id),
+                      seller_logic.new_seller(
+                          seller.seller_id, seller.name, seller.city))
+
+    def _ingest_customer(self, customer) -> None:
+        from repro.marketplace.logic import customer as customer_logic
+        self._install("customer", str(customer.customer_id),
+                      customer_logic.new_customer(
+                          customer.customer_id, customer.name,
+                          customer.city))
 
     def _install(self, service: str, key: str, state: dict) -> None:
         grain = self.cluster.grain_instance(self._grain(service, key))
@@ -319,6 +320,15 @@ class OrleansTransactionsApp(MarketplaceApp):
                         and grain.participant.committed_state:
                     views[service_to_view[service]][key] = \
                         grain.participant.committed_state
+        # Grains paged out under the activation budget are still part
+        # of the logical state the audits check.
+        for (type_name, key), paged in self.cluster.paged_states().items():
+            service = type_to_service.get(type_name)
+            if service is None or not paged:
+                continue
+            state = paged.get("state")
+            if state:
+                views[service_to_view[service]].setdefault(key, state)
         views["event_log"] = [
             {"subscriber": name, "time": when,
              "order_id": envelope.key, "kind": envelope.payload["kind"]}
@@ -334,4 +344,5 @@ class OrleansTransactionsApp(MarketplaceApp):
             "transactions": self.runner.stats.as_dict(),
             "membership": self.cluster.membership_stats(),
             "utilisation": self.cluster.utilisation(),
+            "working_set": self.cluster.working_set_stats(),
         }

@@ -37,7 +37,9 @@ class StatefunApp(MarketplaceApp):
                                            cores_per_partition=self
                                            .config.cores_per_silo,
                                            checkpoint_interval=self
-                                           .config.checkpoint_interval))
+                                           .config.checkpoint_interval,
+                                           max_resident_addresses=self
+                                           .config.activation_limit))
         for name, cls in (
                 ("product", fns.ProductFn), ("replica", fns.ReplicaFn),
                 ("stock", fns.StockFn), ("cart", fns.CartFn),
@@ -67,31 +69,33 @@ class StatefunApp(MarketplaceApp):
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def ingest(self, dataset: "Dataset") -> None:
-        from repro.marketplace.logic import (
-            customer as customer_logic,
-            seller as seller_logic,
-        )
-        self.dataset = dataset
-        for product in dataset.all_products():
-            data = product.as_dict()
-            self._install("product", product.key, data)
-            self._install("replica", product.key, {
-                "price_cents": data["price_cents"],
-                "version": data["version"], "active": data["active"]})
-        for key, stock_item in dataset.stock.items():
-            self._install("stock", key, stock_item.as_dict())
-        for seller in dataset.sellers:
-            self._install("seller", str(seller.seller_id),
-                          seller_logic.new_seller(
-                              seller.seller_id, seller.name, seller.city))
-        for customer in dataset.customers:
-            self._install("customer", str(customer.customer_id),
-                          customer_logic.new_customer(
-                              customer.customer_id, customer.name,
-                              customer.city))
+    def _ingest_product(self, product) -> None:
+        data = product.as_dict()
+        self._install("product", product.key, data)
+        self._install("replica", product.key, {
+            "price_cents": data["price_cents"],
+            "version": data["version"], "active": data["active"]})
+
+    def _ingest_stock(self, stock_item) -> None:
+        self._install("stock", stock_item.key, stock_item.as_dict())
+
+    def _ingest_seller(self, seller) -> None:
+        from repro.marketplace.logic import seller as seller_logic
+        self._install("seller", str(seller.seller_id),
+                      seller_logic.new_seller(
+                          seller.seller_id, seller.name, seller.city))
+
+    def _ingest_customer(self, customer) -> None:
+        from repro.marketplace.logic import customer as customer_logic
+        self._install("customer", str(customer.customer_id),
+                      customer_logic.new_customer(
+                          customer.customer_id, customer.name,
+                          customer.city))
+
+    def _post_ingest(self) -> None:
         # Ingested data is durable: it survives a crash that happens
-        # before the first periodic checkpoint.
+        # before the first periodic checkpoint.  Lazily-touched records
+        # become durable at the next periodic checkpoint instead.
         self.runtime.seal_initial_state()
 
     def _install(self, type_name: str, key: str, state: dict) -> None:
@@ -219,10 +223,12 @@ class StatefunApp(MarketplaceApp):
             "ingestion": "ingestion",
         }
         for worker in self.runtime.workers:
-            for (type_name, key), state in worker.state.items():
-                view = type_to_view.get(type_name)
-                if view is not None and state:
-                    views[view][key] = state
+            # Cold (spilled) addresses are the same logical state.
+            for states in (worker.state, worker.cold):
+                for (type_name, key), state in states.items():
+                    view = type_to_view.get(type_name)
+                    if view is not None and state:
+                        views[view][key] = state
         views["event_log"] = list(self.event_log)
         return views
 
@@ -233,4 +239,5 @@ class StatefunApp(MarketplaceApp):
             "recoveries": self.runtime.recoveries,
             "egress_events": len(self.runtime.egress_log),
             "ingress_compacted": self.runtime.ingress_compacted,
+            "working_set": self.runtime.working_set_stats(),
         }

@@ -287,7 +287,8 @@ def cmd_scenario(args: argparse.Namespace,
     app = ALL_APPS[args.app](env, AppConfig(
         silos=silos, cores_per_silo=cores,
         drop_probability=drop,
-        approval_rate=scenario.approval_rate))
+        approval_rate=scenario.approval_rate,
+        activation_limit=scenario.activation_limit))
     driver = scenario.build_driver(
         env, app, rate_scale=args.rate_scale,
         duration_scale=args.duration_scale, data_seed=args.seed)

@@ -20,8 +20,7 @@ from repro.core.workload.config import WorkloadConfig
 from repro.core.workload.dataset import Dataset
 from repro.core.workload.distributions import (
     HotspotSampler,
-    ProductKeyRegistry,
-    ZipfSampler,
+    make_rank_sampler,
 )
 from repro.core.workload.inputs import InputCoordinator
 from repro.marketplace.constants import PaymentMethod
@@ -106,14 +105,14 @@ class TransactionIssuer:
         self.workload = workload
         self.dataset = dataset
         self.recorder = recorder
-        initial = [(product.seller_id, product.product_id)
-                   for product in dataset.products]
-        reserve = [(product.seller_id, product.product_id)
-                   for product in dataset.reserve_products]
-        self.registry = ProductKeyRegistry(initial, reserve)
+        # The dataset knows its own registry shape: eager datasets build
+        # the materialised rank list, lazy ones a virtual registry over
+        # the arithmetic keyspace.  Small keyspaces keep the exact CDF
+        # sampler (bit-stable legacy draws); huge ones get O(1) memory.
+        self.registry = dataset.make_registry()
         self.sampler = HotspotSampler(
-            ZipfSampler(len(self.registry), workload.zipf_s,
-                        env.rng("driver-keys")),
+            make_rank_sampler(len(self.registry), workload.zipf_s,
+                              env.rng("driver-keys")),
             env.rng("driver-hotspot"))
         self.coordinator = InputCoordinator(
             dataset.customer_ids, self.registry, self.sampler,
@@ -187,12 +186,14 @@ class TransactionIssuer:
             self.skipped["no_lease"] += 1
             yield self.env.timeout(0.001)
             return False
+        self.app.touch_customer(customer_id)
         try:
             n_items = self._rng.randint(self.workload.min_cart_items,
                                         self.workload.max_cart_items)
             added = 0
             for _ in range(n_items):
                 seller_id, product_id = self.coordinator.sample_product()
+                self.app.touch_product(seller_id, product_id)
                 quantity = self._rng.randint(self.workload.min_quantity,
                                              self.workload.max_quantity)
                 voucher = 0
@@ -237,6 +238,7 @@ class TransactionIssuer:
             yield self.env.timeout(0.001)
             return False
         _, (seller_id, product_id) = lease
+        self.app.touch_product(seller_id, product_id)
         try:
             price = self._rng.randint(self.workload.min_price_cents,
                                       self.workload.max_price_cents)
@@ -258,6 +260,7 @@ class TransactionIssuer:
             yield self.env.timeout(0.001)
             return False
         rank, (seller_id, product_id) = lease
+        self.app.touch_product(seller_id, product_id)
         try:
             # Rebind the rank to a replacement *before* the app call:
             # claiming the reserve first closes the race where two
@@ -287,6 +290,7 @@ class TransactionIssuer:
 
     def do_dashboard(self, record: bool = True):
         seller_id = self._rng.choice(self.dataset.seller_ids)
+        self.app.touch_seller(seller_id)
         started = self.env.now
         result = yield from self.app.dashboard(seller_id)
         self._record(result, started, record)
@@ -305,11 +309,13 @@ class TransactionIssuer:
         shop_id = self._rng.randint(1, self.workload.external_shops)
         ext_order_no = f"E{next(self._ext_order_ids):06d}"
         customer_id = self._rng.choice(self.dataset.customer_ids)
+        self.app.touch_customer(customer_id)
         n_items = self._rng.randint(1, 2)
         items = []
         seen: set[tuple[int, int]] = set()
         for _ in range(n_items):
             seller_id, product_id = self.coordinator.sample_product()
+            self.app.touch_product(seller_id, product_id)
             if (seller_id, product_id) in seen:
                 continue
             seen.add((seller_id, product_id))

@@ -214,15 +214,26 @@ class MatrixResult:
                 "cells": [result.as_dict() for result in self.cells]}
 
 
-def cell_payload(cell: MatrixCell, metrics, report) -> dict:
+def cell_payload(cell: MatrixCell, metrics, report, app=None) -> dict:
     """The canonical (wall-clock-free) record of one finished cell.
 
     Everything here is simulated-time data derived deterministically
     from the seed: per-operation rows, open-loop counters, the
     criteria audit and — for fault scenarios — the availability
     summary.  Keep wall-clock measurements out; they belong on
-    :class:`CellResult`.
+    :class:`CellResult`.  When ``app`` is given, a ``memory`` section
+    records the *logical* footprint — dataset records touched plus the
+    working-set counters — which is still pure simulated-time data
+    (actual byte counts are machine-dependent and live in the
+    benchmarks, not here).
     """
+    memory = None
+    if app is not None:
+        dataset = getattr(app, "dataset", None)
+        memory = {
+            "dataset": dataset.summary() if dataset is not None else None,
+            "working_set": app.runtime_stats().get("working_set"),
+        }
     open_loop = {
         key: (round(value, 3) if isinstance(value, float) else value)
         for key, value in metrics.open_loop.items()
@@ -254,6 +265,7 @@ def cell_payload(cell: MatrixCell, metrics, report) -> dict:
             for name, result in sorted(report.results.items())
         },
         "availability": availability,
+        "memory": memory,
     }
 
 
@@ -272,13 +284,14 @@ def run_cell(cell: MatrixCell) -> CellResult:
             silos=scenario.effective_silos,
             cores_per_silo=scenario.effective_cores,
             approval_rate=scenario.approval_rate,
-            drop_probability=scenario.drop_probability))
+            drop_probability=scenario.drop_probability,
+            activation_limit=scenario.activation_limit))
         driver = scenario.build_driver(
             env, app, rate_scale=cell.rate_scale,
             duration_scale=cell.duration_scale, data_seed=cell.seed)
         metrics = driver.run()
         report = audit_app(app, driver)
-        payload = cell_payload(cell, metrics, report)
+        payload = cell_payload(cell, metrics, report, app=app)
     except Exception as error:  # noqa: BLE001 - recorded, not fatal
         tail = traceback.format_exception_only(type(error), error)
         return CellResult(cell=cell, status="failed",

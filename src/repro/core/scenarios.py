@@ -37,6 +37,10 @@ Scenarios deliberately stress different axes of the four platforms:
 ``duplicate-ingest``    external-platform orders where a third of the
                         submits race a duplicate: the idempotent front
                         door and the exactly-once audit.
+``million-keys``        a million-product catalogue generated lazily
+                        on first touch under a per-silo activation
+                        budget: memory tracks the touched set, not
+                        the configured world.
 
 Rates are expressed relative to ``base_rate`` so one ``--rate-scale``
 knob moves a whole scenario up or down without changing its shape.
@@ -106,6 +110,9 @@ class Scenario:
     approval_rate: float = 1.0
     #: Message-loss probability the scenario runs the app with.
     drop_probability: float = 0.0
+    #: Per-silo activation budget (per-worker address budget on the
+    #: dataflow stack); None = unbounded residency.
+    activation_limit: int | None = None
 
     @property
     def effective_silos(self) -> int:
@@ -384,6 +391,26 @@ _register(Scenario(
     arrivals=PoissonArrivals,
     base_rate=120.0,
     drop_probability=0.10,
+))
+
+
+_register(Scenario(
+    name="million-keys",
+    description="A million-product catalogue (1000 sellers x 1000 "
+                "products, 100k customers) generated lazily on first "
+                "touch, with a 2000-activation per-silo budget: the "
+                "driver's Zipf tail only ever materialises the keys it "
+                "samples, and the working-set sweep pages idle grains "
+                "out, so memory tracks the *touched* set, not the "
+                "configured world.",
+    workload=_default_workload(
+        sellers=1000, products_per_seller=1000, customers=100_000,
+        lazy_dataset=True),
+    arrivals=PoissonArrivals,
+    duration=4.0,
+    warmup=0.5,
+    drain=1.5,
+    activation_limit=2000,
 ))
 
 

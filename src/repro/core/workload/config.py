@@ -76,6 +76,10 @@ class WorkloadConfig:
     #: Probability a submit_external fires the same key twice
     #: concurrently (the duplicate-ingest probe).
     duplicate_submit_probability: float = 0.0
+    #: Generate records lazily on first touch (million-entity worlds).
+    #: The eager default keeps legacy runs byte-identical; see
+    #: ``workload/lazydataset.py`` for the lazy contract.
+    lazy_dataset: bool = False
     mix: TransactionMix = dataclasses.field(default_factory=TransactionMix)
 
     def __post_init__(self) -> None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.core.workload.distributions import ProductKeyRegistry
 from repro.marketplace.entities import Customer, Product, Seller, StockItem
 
 
@@ -23,6 +24,12 @@ class Dataset:
     reserve_products: list[Product]
     stock: dict[str, StockItem]  # product key -> stock item
     initial_stock: int
+    #: Eager datasets are fully materialised; the lazy variant
+    #: (``lazydataset.LazyDataset``) overrides this.
+    lazy = False
+
+    _key_index: dict[str, Product] | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def seller_ids(self) -> list[int]:
@@ -33,13 +40,22 @@ class Dataset:
         return [customer.customer_id for customer in self.customers]
 
     def product_by_key(self, key: str) -> Product | None:
-        for product in self.products + self.reserve_products:
-            if product.key == key:
-                return product
-        return None
+        if self._key_index is None:
+            self._key_index = {
+                product.key: product
+                for product in self.products + self.reserve_products}
+        return self._key_index.get(key)
 
     def all_products(self) -> list[Product]:
         return list(self.products) + list(self.reserve_products)
+
+    def make_registry(self) -> ProductKeyRegistry:
+        """The delete-compensation registry over this dataset's keys."""
+        initial = [(product.seller_id, product.product_id)
+                   for product in self.products]
+        reserve = [(product.seller_id, product.product_id)
+                   for product in self.reserve_products]
+        return ProductKeyRegistry(initial, reserve)
 
     def summary(self) -> dict[str, int]:
         return {

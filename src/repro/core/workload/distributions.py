@@ -12,8 +12,18 @@ drifts as deletes accumulate.
 from __future__ import annotations
 
 import bisect
+import math
 import random
 import typing
+
+#: Largest keyspace for which :func:`make_rank_sampler` builds the
+#: exact CDF sampler.  Above this the O(1) approximate sampler takes
+#: over; below it legacy scenarios keep their exact draw sequences.
+EXACT_SAMPLER_MAX = 4096
+
+#: Ranks covered exactly by :class:`ApproxZipfSampler`'s head table.
+#: Fixed regardless of n, so memory stays constant.
+_APPROX_HEAD = 64
 
 
 class ZipfSampler:
@@ -53,6 +63,83 @@ class ZipfSampler:
         return self._cdf[rank] - self._cdf[rank - 1]
 
 
+class ApproxZipfSampler:
+    """O(1)-memory, O(1)-time Zipfian sampling over huge rank spaces.
+
+    The exact sampler's n-entry CDF is unaffordable at 10^6-10^7 ranks.
+    This sampler keeps a fixed-size exact head (the first
+    ``_APPROX_HEAD`` ranks, where nearly all the skewed mass lives) and
+    approximates the tail with the continuous density ``x**-s`` sampled
+    by closed-form inverse transform — the midpoint-rule pairing of
+    rank ``k`` with the interval ``[k + 0.5, k + 1.5)`` keeps the
+    per-rank error at O(s*(s+1)/k^2) relative, Gray-style.  One uniform
+    draw per sample, same as the exact sampler.
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ValueError("need at least one rank")
+        if s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        self.n = n
+        self.s = s
+        self._rng = rng
+        head = min(n, _APPROX_HEAD)
+        self._head_cdf: list[float] = []
+        cumulative = 0.0
+        for rank in range(head):
+            cumulative += 1.0 / ((rank + 1) ** s)
+            self._head_cdf.append(cumulative)
+        self._head_mass = cumulative
+        # Continuous tail over x in [head + 0.5, n + 0.5): value k + 1
+        # owns [k + 0.5, k + 1.5), so the integral of x**-s over each
+        # interval midpoint-approximates the true weight (k + 1)**-s.
+        self._tail_lo = head + 0.5
+        self._tail_hi = n + 0.5
+        self._tail_mass = self._integral(self._tail_lo, self._tail_hi)
+        self._total = self._head_mass + self._tail_mass
+
+    def _integral(self, lo: float, hi: float) -> float:
+        if hi <= lo:
+            return 0.0
+        if self.s == 1.0:
+            return math.log(hi / lo)
+        p = 1.0 - self.s
+        return (hi ** p - lo ** p) / p
+
+    def sample(self) -> int:
+        point = self._rng.random() * self._total
+        if point < self._head_mass:
+            return bisect.bisect_left(self._head_cdf, point)
+        fraction = (point - self._head_mass) / self._tail_mass
+        if self.s == 1.0:
+            x = self._tail_lo * (self._tail_hi / self._tail_lo) ** fraction
+        else:
+            p = 1.0 - self.s
+            x = (self._tail_lo ** p
+                 + fraction * self._tail_mass * p) ** (1.0 / p)
+        rank = int(x + 0.5) - 1
+        return min(self.n - 1, max(len(self._head_cdf), rank))
+
+    def probability(self, rank: int) -> float:
+        """Analytic mass of ``rank`` under the approximated normaliser."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range")
+        return (1.0 / ((rank + 1) ** self.s)) / self._total
+
+
+def make_rank_sampler(n: int, s: float,
+                      rng: random.Random) -> "ZipfSampler | ApproxZipfSampler":
+    """Exact CDF sampler for small keyspaces, O(1) approximation above.
+
+    Legacy scenarios (hundreds of products) keep their exact,
+    bit-stable draw sequences; million-key worlds get constant memory.
+    """
+    if n <= EXACT_SAMPLER_MAX:
+        return ZipfSampler(n, s, rng)
+    return ApproxZipfSampler(n, s, rng)
+
+
 class HotspotSampler:
     """A toggleable hot-key overlay on a base rank sampler.
 
@@ -63,7 +150,8 @@ class HotspotSampler:
     phase boundaries; with no hotspot armed the overlay is transparent.
     """
 
-    def __init__(self, base: ZipfSampler, rng: random.Random) -> None:
+    def __init__(self, base: "ZipfSampler | ApproxZipfSampler",
+                 rng: random.Random) -> None:
         self.base = base
         self._rng = rng
         self._hot_ranks: list[int] = []
@@ -160,3 +248,114 @@ class ProductKeyRegistry:
 
     def live_products(self) -> list[tuple[int, int]]:
         return list(self._by_rank)
+
+
+class VirtualProductKeyRegistry:
+    """:class:`ProductKeyRegistry` semantics over an arithmetic keyspace.
+
+    The eager registry materialises one tuple per rank plus the whole
+    reserve list — O(keyspace) memory before the first transaction.
+    This registry derives rank <-> key from the generator's id layout
+    (seller ``s`` owns product ids ``(s-1)*block + 1 .. s*block`` with
+    the first ``products_per_seller`` live and the rest reserve) and
+    stores only the deviations deletes introduce, so memory is
+    O(deletes) no matter how many ranks exist.  Reserve keys are
+    consumed from the END of the virtual reserve list, matching the
+    eager registry's ``list.pop()`` order key for key.
+    """
+
+    def __init__(self, sellers: int, products_per_seller: int,
+                 reserve_per_seller: int) -> None:
+        if min(sellers, products_per_seller, reserve_per_seller) < 1:
+            raise ValueError("need >= 1 seller, product and reserve each")
+        self._sellers = sellers
+        self._per_seller = products_per_seller
+        self._reserve_per_seller = reserve_per_seller
+        self._block = products_per_seller + reserve_per_seller
+        self._n = sellers * products_per_seller
+        #: Index (in eager reserve-list order) of the next reserve key
+        #: to hand out; counts DOWN because the eager pool pops the end.
+        self._reserve_next = sellers * reserve_per_seller - 1
+        self._rebound: dict[int, tuple[int, int]] = {}  # rank -> new key
+        self._rebound_ranks: dict[tuple[int, int], int] = {}
+        self._deleted: set[tuple[int, int]] = set()
+        self.deletes = 0
+        self.refused_deletes = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _initial_at(self, rank: int) -> tuple[int, int]:
+        seller = rank // self._per_seller + 1
+        offset = rank % self._per_seller
+        return seller, (seller - 1) * self._block + offset + 1
+
+    def _reserve_key(self, index: int) -> tuple[int, int]:
+        seller = index // self._reserve_per_seller + 1
+        offset = index % self._reserve_per_seller
+        product_id = ((seller - 1) * self._block
+                      + self._per_seller + offset + 1)
+        return seller, product_id
+
+    def product_at(self, rank: int) -> tuple[int, int]:
+        """(seller_id, product_id) currently bound to ``rank``."""
+        if not 0 <= rank < self._n:
+            raise IndexError(f"rank {rank} out of range")
+        rebound = self._rebound.get(rank)
+        if rebound is not None:
+            return rebound
+        return self._initial_at(rank)
+
+    def rank_of(self, key: tuple[int, int]) -> int | None:
+        rank = self._rebound_ranks.get(key)
+        if rank is not None:
+            return rank
+        seller, product_id = key
+        if not 1 <= seller <= self._sellers:
+            return None
+        offset = product_id - 1 - (seller - 1) * self._block
+        if not 0 <= offset < self._per_seller:
+            return None
+        rank = (seller - 1) * self._per_seller + offset
+        # An initially-bound key whose rank was since rebound elsewhere
+        # is no longer present anywhere in the registry.
+        return None if rank in self._rebound else rank
+
+    def is_live(self, key: tuple[int, int]) -> bool:
+        if key in self._deleted:
+            return False
+        if key in self._rebound_ranks:
+            return True
+        seller, product_id = key
+        if not 1 <= seller <= self._sellers:
+            return False
+        offset = product_id - 1 - (seller - 1) * self._block
+        return 0 <= offset < self._per_seller
+
+    @property
+    def reserve_remaining(self) -> int:
+        return self._reserve_next + 1
+
+    def delete_at(self, rank: int) -> tuple[tuple[int, int],
+                                            tuple[int, int]] | None:
+        """Delete the product at ``rank``; rebind to a replacement.
+
+        Returns (deleted key, replacement key), or None when no reserve
+        product is available (delete refused).
+        """
+        if self._reserve_next < 0:
+            self.refused_deletes += 1
+            return None
+        deleted = self.product_at(rank)
+        replacement = self._reserve_key(self._reserve_next)
+        self._reserve_next -= 1
+        self._rebound_ranks.pop(deleted, None)
+        self._rebound[rank] = replacement
+        self._rebound_ranks[replacement] = rank
+        self._deleted.add(deleted)
+        self.deletes += 1
+        return deleted, replacement
+
+    def live_products(self) -> list[tuple[int, int]]:
+        """Materialise every live key — O(n); for small-world tests."""
+        return [self.product_at(rank) for rank in range(self._n)]

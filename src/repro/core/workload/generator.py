@@ -18,14 +18,22 @@ _CITIES = (
 )
 
 
-def generate_dataset(config: WorkloadConfig,
-                     seed: int = 0) -> Dataset:
+def generate_dataset(config: WorkloadConfig, seed: int = 0):
     """Generate sellers, customers, products, reserves and stock.
 
     Deterministic for a given (config, seed) pair; product ids are
     globally unique across sellers so the delete-compensation registry
     can track identity by (seller_id, product_id).
+
+    With ``config.lazy_dataset`` set, returns a
+    :class:`~repro.core.workload.lazydataset.LazyDataset` that creates
+    each record on first touch instead of materialising the keyspace.
+    The eager path below is frozen — its single sequential RNG stream
+    is what keeps legacy payloads byte-identical.
     """
+    if config.lazy_dataset:
+        from repro.core.workload.lazydataset import LazyDataset
+        return LazyDataset(config, seed=seed)
     rng = random.Random(seed)
     sellers = [
         Seller(seller_id=index + 1, name=f"seller-{index + 1}",

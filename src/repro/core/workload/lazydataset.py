@@ -1,0 +1,198 @@
+"""Million-entity worlds: records generated on first touch.
+
+The eager generator materialises every Customer/Product/StockItem up
+front, so memory is O(keyspace).  :class:`LazyDataset` instead derives
+each record from a per-entity seeded RNG the moment it is first
+touched: the seed is a stable digest of ``(dataset seed, entity kind,
+entity id)``, so ANY touch order yields byte-identical records and the
+resident set only ever contains what the run actually used.
+
+Two deliberate contracts:
+
+* Per-entity seeds use :func:`hashlib.blake2b` over a text key — never
+  Python's ``hash()``, whose per-process randomisation
+  (``PYTHONHASHSEED``) would break the matrix's cross-process
+  bit-identity guarantee.
+* The legacy eager generator draws all records from ONE sequential RNG
+  stream, which cannot be reproduced per-entity in O(1).  Its output is
+  therefore frozen (legacy payloads stay byte-identical) and the lazy
+  scheme defines its own record values; ids, keys and names follow the
+  exact same layout, and :meth:`materialize` produces the lazy world
+  eagerly for small-config comparison tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.core.workload.config import WorkloadConfig
+from repro.core.workload.dataset import Dataset
+from repro.core.workload.distributions import VirtualProductKeyRegistry
+from repro.marketplace.entities import (Customer, Product, Seller, StockItem,
+                                        product_key)
+from repro.core.workload import generator as _generator
+
+
+def entity_seed(seed: int, kind: str, ident: str | int) -> int:
+    """Stable 64-bit per-entity RNG seed (cross-process deterministic)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{kind}:{ident}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class LazyDataset:
+    """A :class:`Dataset` lookalike that generates records on demand.
+
+    Shares the eager generator's id layout: seller ``s`` (1-based) owns
+    the product-id block ``(s-1)*(P+R)+1 .. s*(P+R)`` where the first
+    ``P = products_per_seller`` ids are initially live and the trailing
+    ``R`` are delete-compensation reserves.
+    """
+
+    lazy = True
+
+    def __init__(self, config: WorkloadConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.initial_stock = config.initial_stock
+        self.reserve_per_seller = max(
+            1, int(config.products_per_seller * config.reserve_fraction))
+        self._block = config.products_per_seller + self.reserve_per_seller
+        self._sellers: dict[int, Seller] = {}
+        self._customers: dict[int, Customer] = {}
+        self._products: dict[str, Product] = {}
+        self._stock: dict[str, StockItem] = {}
+
+    # ------------------------------------------------------------------
+    # per-entity record generation (memoised)
+    # ------------------------------------------------------------------
+    def seller(self, seller_id: int) -> Seller:
+        record = self._sellers.get(seller_id)
+        if record is None:
+            if not 1 <= seller_id <= self.config.sellers:
+                raise KeyError(f"seller {seller_id} out of range")
+            rng = random.Random(entity_seed(self.seed, "seller", seller_id))
+            record = Seller(seller_id=seller_id, name=f"seller-{seller_id}",
+                            city=rng.choice(_generator._CITIES))
+            self._sellers[seller_id] = record
+        return record
+
+    def customer(self, customer_id: int) -> Customer:
+        record = self._customers.get(customer_id)
+        if record is None:
+            if not 1 <= customer_id <= self.config.customers:
+                raise KeyError(f"customer {customer_id} out of range")
+            rng = random.Random(
+                entity_seed(self.seed, "customer", customer_id))
+            record = Customer(customer_id=customer_id,
+                              name=f"customer-{customer_id}",
+                              city=rng.choice(_generator._CITIES))
+            self._customers[customer_id] = record
+        return record
+
+    def product(self, seller_id: int, product_id: int) -> Product:
+        key = product_key(seller_id, product_id)
+        record = self._products.get(key)
+        if record is None:
+            if not self._owns(seller_id, product_id):
+                raise KeyError(f"product {key} out of range")
+            rng = random.Random(entity_seed(self.seed, "product", key))
+            price = rng.randint(self.config.min_price_cents,
+                                self.config.max_price_cents)
+            record = Product(
+                product_id=product_id, seller_id=seller_id,
+                name=f"product-{product_id}",
+                category=rng.choice(_generator._CATEGORIES),
+                price_cents=price)
+            self._products[key] = record
+        return record
+
+    def stock_item(self, seller_id: int, product_id: int) -> StockItem:
+        key = product_key(seller_id, product_id)
+        record = self._stock.get(key)
+        if record is None:
+            if not self._owns(seller_id, product_id):
+                raise KeyError(f"stock {key} out of range")
+            record = StockItem(product_id=product_id, seller_id=seller_id,
+                               qty_available=self.config.initial_stock)
+            self._stock[key] = record
+        return record
+
+    def _owns(self, seller_id: int, product_id: int) -> bool:
+        if not 1 <= seller_id <= self.config.sellers:
+            return False
+        offset = product_id - 1 - (seller_id - 1) * self._block
+        return 0 <= offset < self._block
+
+    # ------------------------------------------------------------------
+    # Dataset interface
+    # ------------------------------------------------------------------
+    @property
+    def seller_ids(self) -> range:
+        return range(1, self.config.sellers + 1)
+
+    @property
+    def customer_ids(self) -> range:
+        return range(1, self.config.customers + 1)
+
+    def product_by_key(self, key: str) -> Product | None:
+        try:
+            seller_id, product_id = (int(part) for part in key.split("/"))
+        except ValueError:
+            return None
+        if not self._owns(seller_id, product_id):
+            return None
+        return self.product(seller_id, product_id)
+
+    def all_products(self) -> list[Product]:
+        raise RuntimeError(
+            "LazyDataset cannot enumerate the keyspace — apps must ingest "
+            "on demand via touch_*; use materialize() in small-world tests")
+
+    def make_registry(self) -> VirtualProductKeyRegistry:
+        """The delete-compensation registry over the virtual keyspace."""
+        return VirtualProductKeyRegistry(
+            self.config.sellers, self.config.products_per_seller,
+            self.reserve_per_seller)
+
+    def summary(self) -> dict[str, int]:
+        config = self.config
+        return {
+            "sellers": config.sellers,
+            "customers": config.customers,
+            "products": config.sellers * config.products_per_seller,
+            "reserve_products": config.sellers * self.reserve_per_seller,
+            "stock_items": config.sellers * self._block,
+            "touched_sellers": len(self._sellers),
+            "touched_customers": len(self._customers),
+            "touched_products": len(self._products),
+        }
+
+    def materialize(self) -> Dataset:
+        """Eagerly build the whole lazy world (small configs only).
+
+        Record values come from the same per-entity scheme as on-demand
+        touches, so any partially-touched LazyDataset agrees with this
+        byte for byte.
+        """
+        config = self.config
+        sellers = [self.seller(i) for i in self.seller_ids]
+        customers = [self.customer(i) for i in self.customer_ids]
+        products: list[Product] = []
+        reserve_products: list[Product] = []
+        stock: dict[str, StockItem] = {}
+        for seller_id in self.seller_ids:
+            base = (seller_id - 1) * self._block
+            for offset in range(self._block):
+                product = self.product(seller_id, base + offset + 1)
+                if offset < config.products_per_seller:
+                    products.append(product)
+                else:
+                    reserve_products.append(product)
+        for product in products + reserve_products:
+            stock[product.key] = self.stock_item(product.seller_id,
+                                                 product.product_id)
+        return Dataset(sellers=sellers, customers=customers,
+                       products=products, reserve_products=reserve_products,
+                       stock=stock, initial_stock=config.initial_stock)

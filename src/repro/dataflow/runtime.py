@@ -41,6 +41,11 @@ class StatefunConfig:
     checkpoint_sync: float = 0.02
     #: Pause while restoring from a checkpoint after a failure.
     recovery_pause: float = 0.25
+    #: Per-worker budget of hot (in-memory) addresses; None = unbounded.
+    #: Above the budget, least-recently-used clean addresses spill to
+    #: the worker's cold tier (the RocksDB state backend analogue) and
+    #: reload transparently on next access.
+    max_resident_addresses: int | None = None
 
 
 @dataclasses.dataclass
@@ -80,6 +85,15 @@ class Worker:
         #: the checkpoint must keep this address dirty.
         self.active_address: tuple[str, str] | None = None
         self.processed = 0
+        #: Cold tier (RocksDB-backend analogue): state dicts spilled
+        #: under ``max_resident_addresses``.  Holds the *same* dict
+        #: objects — a suspended function keeping a reference to a
+        #: spilled address keeps mutating the object that reloads.
+        self.cold: dict[tuple[str, str], dict] = {}
+        self.cold_evictions = 0
+        self.cold_reloads = 0
+        self.peak_resident = 0
+        self.addresses_created = 0
         self._wakeup: "Event | None" = None
         env.process(self._loop(), name=f"worker-{index}")
 
@@ -90,11 +104,42 @@ class Worker:
 
     def state_for(self, address: tuple[str, str]) -> dict:
         self.dirty.add(address)
-        state = self.state.get(address)
+        state = self.state.pop(address, None)
+        if state is None:
+            state = self.cold.pop(address, None)
+            if state is not None:
+                self.cold_reloads += 1
         if state is None:
             state = {}
-            self.state[address] = state
+            self.addresses_created += 1
+        # Re-insert at the end: dict order doubles as the LRU order the
+        # spill sweep walks.
+        self.state[address] = state
+        if len(self.state) > self.peak_resident:
+            self.peak_resident = len(self.state)
+        limit = self.runtime.config.max_resident_addresses
+        if limit is not None and len(self.state) > limit:
+            self._spill(limit, keep=address)
         return state
+
+    def _spill(self, limit: int, keep: tuple[str, str]) -> None:
+        """Move LRU clean addresses to the cold tier, oldest first.
+
+        Dirty addresses stay hot — their latest state is not yet in a
+        checkpoint, and the incremental snapshotter only re-clones
+        dirty ones, so spilling them would checkpoint stale state.  The
+        active (mid-message) address and the one just requested stay
+        hot too.  When everything above budget is dirty, the worker
+        simply runs over budget until the next checkpoint cleans it.
+        """
+        excess = len(self.state) - limit
+        victims = [address for address in self.state
+                   if address not in self.dirty
+                   and address != self.active_address
+                   and (keep is None or address != keep)]
+        for address in victims[:excess]:
+            self.cold[address] = self.state.pop(address)
+            self.cold_evictions += 1
 
     def _loop(self):
         runtime = self.runtime
@@ -291,6 +336,21 @@ class StatefunRuntime:
             worker_queues=[list(worker.queue)
                            for worker in self.workers])
         self._compact_ingress()
+        self._enforce_resident_budget()
+
+    def _enforce_resident_budget(self) -> None:
+        """Spill down to budget right after a checkpoint.
+
+        Checkpointing clears the dirty set, so this is the one moment
+        every over-budget address is clean and spillable — the access
+        path alone can only spill what happens to be clean.
+        """
+        limit = self.config.max_resident_addresses
+        if limit is None:
+            return
+        for worker in self.workers:
+            if len(worker.state) > limit:
+                worker._spill(limit, keep=None)
 
     def _snapshot_worker_states(self, full: bool = False) -> list[dict]:
         """Frozen per-worker state maps for a new checkpoint.
@@ -305,8 +365,13 @@ class StatefunRuntime:
         states = []
         for index, worker in enumerate(self.workers):
             if full or previous is None:
+                # Cold (spilled) addresses are part of the state too —
+                # they are clean by construction but a *full* snapshot
+                # rebuilds from scratch rather than trusting history.
                 snapshot = {address: clone(state)
                             for address, state in worker.state.items()}
+                snapshot.update({address: clone(state)
+                                 for address, state in worker.cold.items()})
             else:
                 snapshot = dict(previous.worker_states[index])
                 for address in worker.dirty:
@@ -358,6 +423,7 @@ class StatefunRuntime:
                            for worker in self.workers])
         self.checkpoints_taken += 1
         self._compact_ingress()
+        self._enforce_resident_budget()
         self._resume()
 
     def inject_failure(self):
@@ -384,6 +450,7 @@ class StatefunRuntime:
             # No checkpoint yet: restart from scratch, replay everything.
             for worker in self.workers:
                 worker.state = {}
+                worker.cold.clear()
                 worker.dirty.clear()
                 worker.queue.clear()
             replay_from = 0
@@ -393,8 +460,11 @@ class StatefunRuntime:
                                             checkpoint.worker_queues):
                 # Clone: the snapshot stays frozen (it may be restored
                 # again) while the worker mutates its copy in place.
+                # The checkpoint map is complete (spilled addresses
+                # included), so the cold tier resets with it.
                 worker.state = {address: clone(tree)
                                 for address, tree in state.items()}
+                worker.cold.clear()
                 worker.dirty.clear()
                 worker.queue.clear()
                 worker.queue.extend(queue)
@@ -420,4 +490,20 @@ class StatefunRuntime:
     def state_of(self, type_name: str, key: str) -> dict | None:
         """Zero-latency state inspection for audits and tests."""
         worker = self.worker_for((type_name, key))
-        return worker.state.get((type_name, key))
+        address = (type_name, key)
+        state = worker.state.get(address)
+        if state is None:
+            state = worker.cold.get(address)
+        return state
+
+    def working_set_stats(self) -> dict:
+        """Hot/cold address counters across all workers."""
+        return {
+            "activations": sum(w.addresses_created for w in self.workers),
+            "evictions": sum(w.cold_evictions for w in self.workers),
+            "reloads": sum(w.cold_reloads for w in self.workers),
+            "peak_resident": sum(w.peak_resident for w in self.workers),
+            "resident": sum(len(w.state) for w in self.workers),
+            "paged": sum(len(w.cold) for w in self.workers),
+            "limit": self.config.max_resident_addresses,
+        }

@@ -188,3 +188,38 @@ class TransactionalGrain(Grain):
     def non_txn_write(self, state: dict) -> None:
         """Direct committed-state write for non-transactional paths."""
         self.participant.write_committed(state)
+
+    # ------------------------------------------------------------------
+    # working-set paging
+    # ------------------------------------------------------------------
+    def page_out(self) -> dict | None:
+        """Snapshot the participant for the working-set pager.
+
+        Refuses (returns None) while any transaction touches this
+        grain — staged writes, prepared votes, held locks or queued
+        waiters — because a fresh participant on re-activation would
+        silently drop that in-flight coordination state.
+        """
+        participant = self._participant
+        if participant is None:
+            return {}  # never touched: identity-only activation
+        if (participant._staged or participant._prepared
+                or participant.lock._holders or participant.lock._queue):
+            return None  # mid-transaction: must stay resident
+        return {
+            "state": participant.committed_state,
+            "prepares": participant.prepares,
+            "commits": participant.commits,
+            "aborts": participant.aborts,
+            "commit_log": list(participant.commit_log),
+        }
+
+    def page_in(self, paged: dict) -> None:
+        if not paged:
+            return
+        participant = self.participant  # (re)created lazily
+        participant.committed_state = paged["state"]
+        participant.prepares = paged["prepares"]
+        participant.commits = paged["commits"]
+        participant.aborts = paged["aborts"]
+        participant.commit_log.extend(paged["commit_log"])

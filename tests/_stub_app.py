@@ -28,8 +28,24 @@ class StubApp(MarketplaceApp):
 
     def ingest(self, dataset):
         self.dataset = dataset
+        if getattr(dataset, "lazy", False):
+            return  # versions default on touch via .get(key, 1)
         for product in dataset.all_products():
             self.versions[product.key] = 1
+
+    # Lazy-dataset touch hooks: nothing to install, versions default
+    # on first use via ``.get(key, 1)``.
+    def _ingest_seller(self, seller):
+        pass
+
+    def _ingest_customer(self, customer):
+        pass
+
+    def _ingest_product(self, product):
+        pass
+
+    def _ingest_stock(self, stock_item):
+        pass
 
     def _op(self, name):
         self.calls[name] += 1

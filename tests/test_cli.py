@@ -131,8 +131,8 @@ class TestMatrixCommand:
         code = main(["matrix", "--dry-run"], stream=stream)
         output = stream.getvalue()
         assert code == 0
-        # 12 scenarios x 4 apps x 1 seed x 1 rate scale.
-        assert "matrix: 48 cells" in output
+        # 13 scenarios x 4 apps x 1 seed x 1 rate scale.
+        assert "matrix: 52 cells" in output
 
     def test_unknown_scenario_filter_rejected(self):
         stream = io.StringIO()

@@ -1,0 +1,274 @@
+"""Lazy dataset, O(1) Zipf sampling and the virtual key registry.
+
+The million-entity contract has three legs, each load-bearing for the
+P2 scaling claim:
+
+* :class:`LazyDataset` generates every record from a per-entity seeded
+  RNG, so ANY touch order produces byte-identical records — and all of
+  them agree with :meth:`LazyDataset.materialize`, the eager
+  comparison path.  (The legacy eager generator's single sequential
+  RNG stream is frozen for payload byte-identity; the lazy scheme
+  shares its id/key/name layout, not its draws.)
+* :class:`ApproxZipfSampler` replaces the O(n) CDF above
+  ``EXACT_SAMPLER_MAX`` ranks; below it :func:`make_rank_sampler`
+  returns the exact sampler with bit-identical draw sequences.
+* :class:`VirtualProductKeyRegistry` reproduces the eager
+  :class:`ProductKeyRegistry` — same rank bindings, same reserve
+  consumption order, same refusals — in O(deletes) memory.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.workload.config import WorkloadConfig
+from repro.core.workload.distributions import (
+    EXACT_SAMPLER_MAX,
+    ApproxZipfSampler,
+    VirtualProductKeyRegistry,
+    ZipfSampler,
+    make_rank_sampler,
+)
+from repro.core.workload.generator import generate_dataset
+from repro.core.workload.lazydataset import LazyDataset, entity_seed
+
+SMALL = dict(sellers=3, customers=8, products_per_seller=4,
+             reserve_fraction=0.5)
+
+
+def small_config(**overrides) -> WorkloadConfig:
+    return WorkloadConfig(**{**SMALL, **overrides})
+
+
+# ---------------------------------------------------------------------------
+# LazyDataset: touch-order independence and materialize agreement
+# ---------------------------------------------------------------------------
+
+class TestLazyDataset:
+    def _touches(self, config: WorkloadConfig) -> list[tuple]:
+        lazy = LazyDataset(config)
+        touches = [("seller", i) for i in lazy.seller_ids]
+        touches += [("customer", i) for i in lazy.customer_ids]
+        for seller_id in lazy.seller_ids:
+            base = (seller_id - 1) * lazy._block
+            touches += [("product", seller_id, base + offset + 1)
+                        for offset in range(lazy._block)]
+        return touches
+
+    def _touch(self, lazy: LazyDataset, touch: tuple):
+        if touch[0] == "seller":
+            return lazy.seller(touch[1])
+        if touch[0] == "customer":
+            return lazy.customer(touch[1])
+        return (lazy.product(touch[1], touch[2]),
+                lazy.stock_item(touch[1], touch[2]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=2**32))
+    def test_touch_order_independent(self, data, seed):
+        config = small_config()
+        touches = self._touches(config)
+        order = data.draw(st.permutations(touches))
+        shuffled = LazyDataset(config, seed=seed)
+        sequential = LazyDataset(config, seed=seed)
+        by_touch = {touch: self._touch(shuffled, touch)
+                    for touch in order}
+        for touch in touches:
+            assert by_touch[touch] == self._touch(sequential, touch)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_partial_touches_agree_with_materialize(self, seed):
+        config = small_config()
+        lazy = LazyDataset(config, seed=seed)
+        # Touch a few records first, in a scattered order ...
+        early_product = lazy.product(2, lazy._block + 1)
+        early_seller = lazy.seller(3)
+        # ... then materialise everything and check the early touches
+        # are the same objects the eager build would have produced.
+        eager = LazyDataset(config, seed=seed).materialize()
+        assert early_product == eager.product_by_key(early_product.key)
+        assert early_seller == eager.sellers[2]
+        # And the full worlds agree record for record.
+        full = lazy.materialize()
+        assert full == eager
+
+    def test_shares_eager_generator_layout(self):
+        """Same ids, keys and name formats as the frozen eager path."""
+        config = small_config()
+        eager = generate_dataset(config, seed=9)
+        lazy_world = LazyDataset(config, seed=9).materialize()
+        assert [s.seller_id for s in lazy_world.sellers] == \
+            [s.seller_id for s in eager.sellers]
+        assert [c.customer_id for c in lazy_world.customers] == \
+            [c.customer_id for c in eager.customers]
+        assert [p.key for p in lazy_world.products] == \
+            [p.key for p in eager.products]
+        assert [p.key for p in lazy_world.reserve_products] == \
+            [p.key for p in eager.reserve_products]
+        assert [p.name for p in lazy_world.products] == \
+            [p.name for p in eager.products]
+        assert set(lazy_world.stock) == set(eager.stock)
+
+    def test_generate_dataset_dispatches_on_config(self):
+        lazy = generate_dataset(small_config(lazy_dataset=True), seed=4)
+        assert lazy.lazy and isinstance(lazy, LazyDataset)
+        eager = generate_dataset(small_config(), seed=4)
+        assert not eager.lazy
+
+    def test_product_by_key(self):
+        lazy = LazyDataset(small_config(), seed=1)
+        product = lazy.product_by_key("2/7")
+        assert product is not None
+        assert (product.seller_id, product.product_id) == (2, 7)
+        assert lazy.product_by_key("2/7") is product  # memoised
+        assert lazy.product_by_key("99/1") is None
+        assert lazy.product_by_key("not-a-key") is None
+
+    def test_out_of_range_touches_raise(self):
+        lazy = LazyDataset(small_config(), seed=1)
+        for call in (lambda: lazy.seller(0), lambda: lazy.seller(4),
+                     lambda: lazy.customer(9),
+                     lambda: lazy.product(1, lazy._block + 1),
+                     lambda: lazy.stock_item(4, 1)):
+            try:
+                call()
+            except KeyError:
+                continue
+            raise AssertionError("expected KeyError")
+
+    def test_all_products_refuses_enumeration(self):
+        lazy = LazyDataset(small_config(), seed=1)
+        try:
+            lazy.all_products()
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("expected RuntimeError")
+
+    def test_summary_tracks_touched_set(self):
+        lazy = LazyDataset(small_config(), seed=1)
+        assert lazy.summary()["touched_products"] == 0
+        lazy.product(1, 1)
+        lazy.seller(2)
+        summary = lazy.summary()
+        assert summary["touched_products"] == 1
+        assert summary["touched_sellers"] == 1
+        assert summary["products"] == 12
+        assert summary["customers"] == 8
+
+    def test_entity_seed_is_stable_and_distinct(self):
+        assert entity_seed(1, "product", "2/7") == \
+            entity_seed(1, "product", "2/7")
+        assert entity_seed(1, "product", "2/7") != \
+            entity_seed(2, "product", "2/7")
+        assert entity_seed(1, "product", "2/7") != \
+            entity_seed(1, "seller", "2/7")
+
+
+# ---------------------------------------------------------------------------
+# O(1) Zipf sampling
+# ---------------------------------------------------------------------------
+
+class TestApproxZipf:
+    def test_factory_is_exact_below_threshold(self):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        factory = make_rank_sampler(EXACT_SAMPLER_MAX, 0.9, rng_a)
+        exact = ZipfSampler(EXACT_SAMPLER_MAX, 0.9, rng_b)
+        assert isinstance(factory, ZipfSampler)
+        assert [factory.sample() for _ in range(500)] == \
+            [exact.sample() for _ in range(500)]
+
+    def test_factory_is_approximate_above_threshold(self):
+        sampler = make_rank_sampler(EXACT_SAMPLER_MAX + 1, 0.9,
+                                    random.Random(5))
+        assert isinstance(sampler, ApproxZipfSampler)
+
+    def test_samples_in_range_at_scale(self):
+        n = 1_000_000
+        for s in (0.5, 0.8, 1.0, 1.3):
+            sampler = ApproxZipfSampler(n, s, random.Random(7))
+            ranks = [sampler.sample() for _ in range(2000)]
+            assert all(0 <= rank < n for rank in ranks)
+            # The head is over-represented by roughly its pmf mass
+            # (under uniform the top-100 share would be 1e-4).
+            head_share = sum(rank < 100 for rank in ranks) / len(ranks)
+            expected = sum(sampler.probability(rank) for rank in range(100))
+            assert expected > 100 / n * 10
+            assert abs(head_share - expected) < 0.05
+
+    def test_pmf_matches_exact_distribution(self):
+        """probability(rank) stays within 1e-4 relative error of the
+        exact normalised Zipf pmf (measured bound is ~3e-7)."""
+        n, s = 100_000, 0.8
+        sampler = ApproxZipfSampler(n, s, random.Random(1))
+        total = sum((rank + 1) ** -s for rank in range(n))
+        for rank in (0, 1, 63, 64, 1000, 99_999):
+            exact_p = (rank + 1) ** -s / total
+            approx_p = sampler.probability(rank)
+            assert abs(approx_p - exact_p) / exact_p < 1e-4
+
+    def test_empirical_head_frequency(self):
+        n, s = 50_000, 1.0
+        sampler = ApproxZipfSampler(n, s, random.Random(3))
+        draws = 20_000
+        hits = sum(sampler.sample() == 0 for _ in range(draws))
+        expected = sampler.probability(0)
+        observed = hits / draws
+        assert abs(observed - expected) < 0.02
+
+
+# ---------------------------------------------------------------------------
+# VirtualProductKeyRegistry vs the eager registry
+# ---------------------------------------------------------------------------
+
+class TestVirtualRegistry:
+    def _pair(self, config: WorkloadConfig):
+        lazy = LazyDataset(config, seed=2)
+        return lazy.make_registry(), lazy.materialize().make_registry()
+
+    def test_initial_bindings_match(self):
+        virtual, eager = self._pair(small_config())
+        assert len(virtual) == len(eager)
+        for rank in range(len(eager)):
+            assert virtual.product_at(rank) == eager.product_at(rank)
+            assert virtual.rank_of(eager.product_at(rank)) == rank
+            assert virtual.is_live(eager.product_at(rank))
+        assert virtual.reserve_remaining == eager.reserve_remaining
+        assert virtual.live_products() == eager.live_products()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_delete_sequences_match(self, data):
+        config = small_config(reserve_fraction=0.5)
+        virtual, eager = self._pair(config)
+        # Delete more than the reserve can cover so refusals happen too.
+        deletes = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(eager) - 1),
+            min_size=1, max_size=len(eager)))
+        for rank in deletes:
+            assert virtual.delete_at(rank) == eager.delete_at(rank)
+        assert virtual.deletes == eager.deletes
+        assert virtual.refused_deletes == eager.refused_deletes
+        assert virtual.reserve_remaining == eager.reserve_remaining
+        for rank in range(len(eager)):
+            assert virtual.product_at(rank) == eager.product_at(rank)
+            key = eager.product_at(rank)
+            assert virtual.rank_of(key) == eager.rank_of(key)
+            assert virtual.is_live(key) == eager.is_live(key)
+
+    def test_memory_is_o_deletes(self):
+        """A million-rank registry costs nothing until deletes happen."""
+        registry = VirtualProductKeyRegistry(1000, 1000, 100)
+        assert len(registry) == 1_000_000
+        # Product ids are globally sequential per-seller blocks of
+        # 1000 live + 100 reserve, matching the eager generator.
+        assert registry.product_at(0) == (1, 1)
+        assert registry.product_at(999_999) == (1000, 999 * 1100 + 1000)
+        mid = registry.product_at(550_000)
+        assert registry.rank_of(mid) == 550_000
+        assert registry.is_live(mid)
+        before = len(registry._rebound)
+        registry.delete_at(123_456)
+        assert len(registry._rebound) == before + 1

@@ -10,7 +10,8 @@ from repro.runtime import Environment
 EXPECTED = {"baseline", "flash-sale", "heavy-writer",
             "burst-then-quiesce", "delete-churn", "overload-ramp",
             "silo-crash", "scale-out-under-load", "rolling-restart",
-            "return-storm", "payment-flaky", "duplicate-ingest"}
+            "return-storm", "payment-flaky", "duplicate-ingest",
+            "million-keys"}
 
 FAULT_SCENARIOS = {"silo-crash", "scale-out-under-load",
                    "rolling-restart"}

@@ -1,0 +1,173 @@
+"""Activation working-set control: evict, reload, preserve state.
+
+Every stack honours ``AppConfig.activation_limit`` — the Orleans
+clusters page quiet grains out through the pager under an LRU sweep,
+Statefun spills checkpointed addresses to a cold tier — and every
+stack must bring state back bit-for-bit when traffic returns.  These
+tests drive real marketplace transactions under a deliberately tiny
+budget and assert the three observable guarantees:
+
+* the budget bites (evictions > 0) and reloads happen when evicted
+  entities are touched again;
+* business state survives the evict/re-activate round trip (price
+  versions keep counting, checkouts still decrement the right stock);
+* the business outcome is identical to an unlimited run — paging is
+  a memory policy, not a semantics change.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, AppConfig
+from repro.core import WorkloadConfig, generate_dataset
+from repro.marketplace.constants import PaymentMethod
+from repro.runtime import Environment
+
+APP_NAMES = list(ALL_APPS)
+ORLEANS_APPS = [name for name in APP_NAMES if name != "statefun"]
+
+SMALL = WorkloadConfig(sellers=4, customers=16, products_per_seller=4,
+                       initial_stock=1000)
+TIGHT_LIMIT = 8  # per silo/worker — far below the ~70-grain world
+
+
+def make_app(name, activation_limit=None, seed=7):
+    env = Environment(seed=seed)
+    app = ALL_APPS[name](env, AppConfig(
+        silos=2, cores_per_silo=2, activation_limit=activation_limit))
+    app.ingest(generate_dataset(SMALL, seed=seed))
+    return env, app
+
+
+def run_op(env, generator):
+    process = env.process(generator)
+    return env.run(until=process)
+
+
+def settle(env, delta=2.0):
+    """Let sweeps/checkpoints run with no traffic in flight."""
+    env.run(until=env.now + delta)
+
+
+def touch_all_products(env, app):
+    results = []
+    for product in app.dataset.products:
+        results.append(run_op(env, app.update_price(
+            product.seller_id, product.product_id,
+            product.price_cents + 100)))
+    return results
+
+
+def business_outcome(app):
+    views = app.audit_views()
+    products = {key: (state["price_cents"], state["version"])
+                for key, state in views["products"].items()}
+    stock = {key: (state["qty_available"], state["qty_reserved"])
+             for key, state in views["stock"].items()}
+    return products, stock
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestWorkingSetBudget:
+    def test_budget_bites_and_reloads(self, name):
+        env, app = make_app(name, activation_limit=TIGHT_LIMIT)
+        # First pass touches every product grain; the quiet ones get
+        # swept out while later ones are being updated.
+        for result in touch_all_products(env, app):
+            assert result.ok, result
+        settle(env)
+        stats = app.runtime_stats()["working_set"]
+        assert stats["limit"] == TIGHT_LIMIT
+        assert stats["evictions"] > 0, stats
+        # Second pass re-touches them all: evicted grains must come
+        # back through the pager, not as blank activations.
+        for result in touch_all_products(env, app):
+            assert result.ok, result
+        stats = app.runtime_stats()["working_set"]
+        assert stats["reloads"] > 0, stats
+
+    def test_state_survives_round_trip(self, name):
+        env, app = make_app(name, activation_limit=TIGHT_LIMIT)
+        target = app.dataset.products[0]
+        first = run_op(env, app.update_price(
+            target.seller_id, target.product_id, 12_345))
+        assert first.ok
+        # Evict the target by touching the rest of the world and
+        # letting the sweep run.
+        for product in app.dataset.products[1:]:
+            assert run_op(env, app.update_price(
+                product.seller_id, product.product_id,
+                product.price_cents + 1)).ok
+        settle(env)
+        # The audited view must still see the paged-out update ...
+        view = app.audit_views()["products"][target.key]
+        assert view["price_cents"] == 12_345
+        # ... and a fresh transaction continues from that state: the
+        # version counter keeps counting instead of restarting.
+        second = run_op(env, app.update_price(
+            target.seller_id, target.product_id, 23_456))
+        assert second.ok
+        view = app.audit_views()["products"][target.key]
+        assert view["price_cents"] == 23_456
+        assert view["version"] == first.payload["version"] + 1
+
+    def test_checkout_across_eviction(self, name):
+        env, app = make_app(name, activation_limit=TIGHT_LIMIT)
+        target = app.dataset.products[0]
+        assert run_op(env, app.add_item(
+            1, target.seller_id, target.product_id, 5)).ok
+        # Page the cart/stock world out from under the open cart.
+        touch_all_products(env, app)
+        settle(env)
+        result = run_op(env, app.checkout(
+            1, "order-ws-1", PaymentMethod.CREDIT_CARD))
+        assert result.ok, result
+        settle(env)
+        stock = app.audit_views()["stock"][target.key]
+        assert stock["qty_available"] == SMALL.initial_stock - 5
+        assert stock["qty_reserved"] == 0
+
+    def test_no_limit_means_no_paging(self, name):
+        env, app = make_app(name, activation_limit=None)
+        touch_all_products(env, app)
+        settle(env)
+        stats = app.runtime_stats()["working_set"]
+        assert stats["limit"] is None
+        assert stats["evictions"] == 0
+        assert stats["reloads"] == 0
+        assert stats["paged"] == 0
+
+    def test_outcome_matches_unlimited_run(self, name):
+        """Paging is a memory policy, not a semantics change."""
+        outcomes = []
+        for limit in (None, TIGHT_LIMIT):
+            env, app = make_app(name, activation_limit=limit)
+            assert run_op(env, app.add_item(2, 1, 1, 3)).ok
+            touch_all_products(env, app)
+            assert run_op(env, app.checkout(
+                2, "order-par-1", PaymentMethod.DEBIT_CARD)).ok
+            settle(env)
+            outcomes.append(business_outcome(app))
+        assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.parametrize("name", ORLEANS_APPS)
+def test_resident_population_respects_limit(name):
+    """After traffic quiesces, each silo holds at most the budget."""
+    env, app = make_app(name, activation_limit=TIGHT_LIMIT)
+    touch_all_products(env, app)
+    settle(env)
+    stats = app.runtime_stats()["working_set"]
+    assert stats["resident"] <= TIGHT_LIMIT * app.config.silos, stats
+    assert stats["paged"] > 0
+    assert stats["peak_resident"] >= stats["resident"]
+
+
+def test_statefun_cold_tier_survives_failure():
+    """Cold addresses are re-hydrated from checkpoints on recovery."""
+    env, app = make_app("statefun", activation_limit=TIGHT_LIMIT)
+    touch_all_products(env, app)
+    settle(env)  # checkpoint covers the updates, budget sweep spills
+    before = business_outcome(app)
+    run_op(env, app.runtime.inject_failure())
+    settle(env)
+    assert business_outcome(app) == before

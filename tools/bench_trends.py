@@ -42,6 +42,9 @@ _LAYOUTS = {
     "m0_matrix": ("cell",
                   [("serial s", "serial_wall_s"),
                    ("parallel s", "parallel_wall_s")]),
+    "p2_scale": ("keys",
+                 [("peak MB", "peak_tracked_mb"),
+                  ("tx/s wall", "tx_per_wall_s")]),
 }
 
 

@@ -24,10 +24,43 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_P0_hotpath.json"
+SCALE_ARTIFACT = REPO_ROOT / "BENCH_P2_scale.json"
 BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
 
 WARN_FRACTION = 0.90
 FAIL_FRACTION = 0.75
+#: Memory axis (P2): peak tracked MB at 10^6 keys may be at most this
+#: multiple of the 10^5-key cell under identical traffic — the lazy
+#: dataset + working-set budget contract.  Eager scaling would be ~10x.
+MEMORY_RATIO_LIMIT = 3.0
+
+
+def check_memory_axis() -> int:
+    """Gate the P2 world-size memory ratio; skip if the bench didn't run."""
+    if not SCALE_ARTIFACT.exists():
+        print(f"memory axis: {SCALE_ARTIFACT.name} not found — skipped "
+              "(run bench_p2_scale.py to enable)")
+        return 0
+    payload = json.loads(SCALE_ARTIFACT.read_text())
+    by_keys = {row["keys"]: row for row in payload.get("rows", ())}
+    small = by_keys.get(100_000)
+    large = by_keys.get(1_000_000)
+    if not small or not large or not small.get("peak_tracked_mb"):
+        print("memory axis: P2 artifact lacks the 10^5/10^6 cells — "
+              "skipped")
+        return 0
+    ratio = large["peak_tracked_mb"] / small["peak_tracked_mb"]
+    print(f"P2 memory ratio 10^6/10^5 keys: {ratio:.2f}x "
+          f"({large['peak_tracked_mb']:.1f} MB / "
+          f"{small['peak_tracked_mb']:.1f} MB; limit "
+          f"{MEMORY_RATIO_LIMIT:.1f}x)")
+    if ratio >= MEMORY_RATIO_LIMIT:
+        print(f"FAIL: memory grows {ratio:.2f}x from 10^5 to 10^6 keys "
+              "— lazy-dataset or working-set control has regressed",
+              file=sys.stderr)
+        return 1
+    print("memory axis gate: OK")
+    return 0
 
 
 def main() -> int:
@@ -61,7 +94,7 @@ def main() -> int:
               "check recent kernel changes (may be runner noise)")
     else:
         print("perf floor gate: OK")
-    return 0
+    return check_memory_axis()
 
 
 if __name__ == "__main__":
