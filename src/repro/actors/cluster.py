@@ -445,6 +445,21 @@ class Cluster:
                     live_silos=len(self.live_silos),
                     total_silos=len(self.silos))
 
+    def control_stats(self) -> dict:
+        """The uniform control-plane counters (``platform_stats()``
+        fields, see :mod:`repro.control.signals`).  ``silos_live``
+        counts serving silos — a draining silo still serves until its
+        handoff completes, so it is live *and* counted draining."""
+        return {
+            "silos_live": len(self.live_silos),
+            "silos_draining": sum(1 for silo in self.silos
+                                  if silo.state == SiloState.DRAINING),
+            "silos_total": len(self.silos),
+            "resident": self.total_activations,
+            "paged": len(self._paged),
+            "messages": self.messages_sent,
+        }
+
     # ------------------------------------------------------------------
     # references and routing
     # ------------------------------------------------------------------

@@ -6,6 +6,11 @@ from repro.analysis.availability import (
     availability_report,
     availability_rows,
 )
+from repro.analysis.elasticity import (
+    ElasticityReport,
+    elasticity_report,
+    elasticity_rows,
+)
 from repro.analysis.matrix_report import (
     availability_pct,
     format_table,
@@ -32,12 +37,15 @@ from repro.analysis.stats import (
 __all__ = [
     "AnomalyReport",
     "AvailabilityReport",
+    "ElasticityReport",
     "availability_pct",
     "availability_report",
     "availability_rows",
     "criteria_rows",
     "csv_table",
     "describe",
+    "elasticity_report",
+    "elasticity_rows",
     "experiment_report",
     "format_table",
     "markdown_table",

@@ -12,6 +12,7 @@ import dataclasses
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control.signals import PlatformStats
     from repro.core.workload.dataset import Dataset
     from repro.runtime import Environment
 
@@ -195,8 +196,38 @@ class MarketplaceApp:
         raise NotImplementedError
 
     def runtime_stats(self) -> dict:
-        """Platform counters (messages, aborts, checkpoints, ...)."""
+        """Platform counters (messages, aborts, checkpoints, ...).
+
+        Free-form and stack-specific by design — these dicts land in
+        committed payloads, so their shapes are frozen.  Control-plane
+        consumers use :meth:`platform_stats` instead, whose schema is
+        uniform across stacks.
+        """
         return {}
+
+    def platform_stats(self) -> "PlatformStats":
+        """Typed control-plane snapshot; same schema on every stack.
+
+        The documented contract is :data:`repro.control.signals.
+        PLATFORM_SCHEMA` (see :meth:`stats_schema`); the control-plane
+        contract test holds all four implementations to it.  The base
+        implementation reports the static configured shape with
+        nothing resident — correct for apps without a scalable
+        runtime, e.g. test stubs.
+        """
+        from repro.control.signals import PlatformStats
+
+        return PlatformStats(
+            silos_live=self.config.silos, silos_draining=0,
+            silos_total=self.config.silos, resident=0, paged=0,
+            messages=0)
+
+    @classmethod
+    def stats_schema(cls) -> dict[str, type]:
+        """The :meth:`platform_stats` field contract: name -> type."""
+        from repro.control.signals import PLATFORM_SCHEMA
+
+        return dict(PLATFORM_SCHEMA)
 
 
 def ok(operation: str, **payload) -> OperationResult:

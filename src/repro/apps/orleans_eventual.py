@@ -310,6 +310,11 @@ class OrleansEventualApp(MarketplaceApp):
             "working_set": self.cluster.working_set_stats(),
         }
 
+    def platform_stats(self):
+        from repro.control.signals import PlatformStats
+
+        return PlatformStats(**self.cluster.control_stats())
+
 
 _TYPE_TO_SERVICE = {
     grain_type.__name__: service

@@ -346,3 +346,8 @@ class OrleansTransactionsApp(MarketplaceApp):
             "utilisation": self.cluster.utilisation(),
             "working_set": self.cluster.working_set_stats(),
         }
+
+    def platform_stats(self):
+        from repro.control.signals import PlatformStats
+
+        return PlatformStats(**self.cluster.control_stats())

@@ -241,3 +241,8 @@ class StatefunApp(MarketplaceApp):
             "ingress_compacted": self.runtime.ingress_compacted,
             "working_set": self.runtime.working_set_stats(),
         }
+
+    def platform_stats(self):
+        from repro.control.signals import PlatformStats
+
+        return PlatformStats(**self.runtime.control_stats())

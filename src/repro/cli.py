@@ -38,10 +38,12 @@ import typing
 
 from repro.analysis.anomalies import AnomalyReport
 from repro.analysis.availability import availability_report
+from repro.analysis.elasticity import elasticity_report
 from repro.analysis.matrix_report import (
     matrix_report_json,
     render_matrix_report,
 )
+from repro.control.facade import run_scenario
 from repro.apps import ALL_APPS, AppConfig
 from repro.core import (
     BenchmarkDriver,
@@ -258,6 +260,40 @@ def _print_availability(metrics, stream: typing.TextIO) -> None:
           file=stream)
 
 
+def _print_elasticity(metrics, app: str,
+                      stream: typing.TextIO) -> None:
+    control = metrics.open_loop["control"]
+    report = elasticity_report(control, app=app)
+    print("\nautoscaler timeline (controller samples):", file=stream)
+    for sample in control["samples"]:
+        flag = "  << SLO breach" if sample["breach"] else ""
+        action = f"  -> {sample['action']}" if sample["action"] else ""
+        print(f"  t={sample['time']:5.2f}s p95={sample['p95_ms']:7.2f}ms "
+              f"err={sample['error_rate'] * 100:4.1f}% "
+              f"rate={sample['arrival_rate']:6.0f}/s "
+              f"silos={sample['silos']}{action}{flag}", file=stream)
+    if report is None:
+        return
+    lag = (f"{report.scaling_lag:.2f}s"
+           if report.scaling_lag is not None else "-")
+    if report.recovery_time is not None:
+        recovery = f"{report.recovery_time:.2f}s"
+    elif report.recovered:
+        recovery = "-"  # nothing ever breached
+    else:
+        recovery = "not reached"
+    print(f"\nSLO violation time: {report.slo_violation_seconds:.2f}s  "
+          f"scaling lag: {lag}  recovery: {recovery}", file=stream)
+    print(f"silo range: {report.min_silos}..{report.peak_silos}  "
+          f"scale-ups: {report.scale_ups}  "
+          f"scale-downs: {report.scale_downs}", file=stream)
+    print(f"provisioning vs ideal curve: "
+          f"over {report.over_provisioned_area:.2f} silo-s, "
+          f"under {report.under_provisioned_area:.2f} silo-s "
+          f"(actual {report.silo_seconds:.1f}, "
+          f"ideal {report.ideal_silo_seconds:.1f})", file=stream)
+
+
 def cmd_scenario(args: argparse.Namespace,
                  stream: typing.TextIO = sys.stdout) -> int:
     if args.list or args.name is None:
@@ -266,38 +302,29 @@ def cmd_scenario(args: argparse.Namespace,
             scenario = get_scenario(name)
             print(f"  {name:20s} {scenario.description}", file=stream)
         return 0
-    try:
-        scenario = get_scenario(args.name)
-    except KeyError as error:
-        print(f"error: {error.args[0]}", file=stream)
-        return 2
     if args.rate_scale <= 0 or args.duration_scale <= 0:
         print("error: --rate-scale and --duration-scale must be > 0",
               file=stream)
         return 2
-    env = Environment(seed=args.seed)
-    # A fault scenario may pin the cluster shape it was designed for
-    # (e.g. scale-out starts small); explicit flags still win.
-    silos = (args.silos if args.silos is not None
-             else scenario.effective_silos)
-    cores = (args.cores if args.cores is not None
-             else scenario.effective_cores)
-    drop = args.drop if args.drop is not None \
-        else scenario.drop_probability
-    app = ALL_APPS[args.app](env, AppConfig(
-        silos=silos, cores_per_silo=cores,
-        drop_probability=drop,
-        approval_rate=scenario.approval_rate,
-        activation_limit=scenario.activation_limit))
-    driver = scenario.build_driver(
-        env, app, rate_scale=args.rate_scale,
-        duration_scale=args.duration_scale, data_seed=args.seed)
-    metrics = driver.run()
-    report = audit_app(app, driver)
-    _print_scenario_metrics(scenario, metrics, stream)
+    try:
+        # One canonical assembly path: a scenario pins the cluster
+        # shape / fault knobs it was designed for, explicit flags win
+        # (None = use the pin) — run_scenario owns those semantics.
+        run = run_scenario(args.name, app=args.app, seed=args.seed,
+                           rate_scale=args.rate_scale,
+                           duration_scale=args.duration_scale,
+                           silos=args.silos, cores=args.cores,
+                           drop_probability=args.drop)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=stream)
+        return 2
+    metrics = run.metrics
+    _print_scenario_metrics(run.scenario, metrics, stream)
     if metrics.open_loop.get("fault_events"):
         _print_availability(metrics, stream)
-    _print_report(report, stream)
+    if metrics.open_loop.get("control"):
+        _print_elasticity(metrics, args.app, stream)
+    _print_report(run.report, stream)
     return 0
 
 

@@ -1,0 +1,74 @@
+"""`repro.control` — the control-plane API over all four stacks.
+
+Read typed signals, issue typed membership actions, close the loop
+with an SLO-driven autoscaler, and run catalogue scenarios through one
+facade:
+
+* :class:`RuntimeSignals` / :class:`PlatformStats` — the documented
+  snapshot schemas (``signals.py``);
+* :class:`AddSilo` / :class:`DrainSilo` / :class:`CrashSilo` — typed
+  membership commands shared by fault schedules and the autoscaler
+  (``actions.py``);
+* :class:`ControlPlane` / :func:`control_plane_for` — the per-stack
+  read/act surface (``plane.py``);
+* :class:`Autoscaler` / :class:`AutoscalerConfig` / :class:`SLOTarget`
+  — the controller (``autoscaler.py``);
+* :func:`run_scenario` / :class:`ScenarioRun` — the one entry point
+  for end-to-end scenario execution (``facade.py``).
+
+``docs/elasticity.md`` covers the controller design and the elasticity
+report computed from its samples.
+"""
+
+from repro.control.actions import (
+    AddSilo,
+    CallMethod,
+    ControlAction,
+    CrashSilo,
+    DrainSilo,
+    parse_action,
+)
+from repro.control.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    SLOTarget,
+)
+from repro.control.facade import ScenarioRun, run_scenario
+from repro.control.plane import (
+    ClusterControlPlane,
+    ControlPlane,
+    NullControlPlane,
+    StatefunControlPlane,
+    control_plane_for,
+)
+from repro.control.signals import (
+    PLATFORM_SCHEMA,
+    SIGNALS_SCHEMA,
+    PlatformStats,
+    RuntimeSignals,
+    SignalWindow,
+)
+
+__all__ = [
+    "PLATFORM_SCHEMA",
+    "SIGNALS_SCHEMA",
+    "AddSilo",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "CallMethod",
+    "ClusterControlPlane",
+    "ControlAction",
+    "ControlPlane",
+    "CrashSilo",
+    "DrainSilo",
+    "NullControlPlane",
+    "PlatformStats",
+    "RuntimeSignals",
+    "ScenarioRun",
+    "SignalWindow",
+    "SLOTarget",
+    "StatefunControlPlane",
+    "control_plane_for",
+    "parse_action",
+    "run_scenario",
+]

@@ -13,6 +13,7 @@ from repro.core.driver.arrivals import (
     PhasedArrivals,
     PoissonArrivals,
     RampArrivals,
+    SinusoidArrivals,
 )
 from repro.core.driver.driver import BenchmarkDriver, DriverConfig
 from repro.core.driver.issuer import TransactionIssuer
@@ -62,6 +63,7 @@ __all__ = [
     "RunMetrics",
     "SCENARIOS",
     "Scenario",
+    "SinusoidArrivals",
     "StreamingHistogram",
     "TransactionIssuer",
     "TransactionMix",

@@ -14,6 +14,7 @@ traces are reproducible end to end.
 
 from __future__ import annotations
 
+import math
 import random
 import typing
 
@@ -186,3 +187,59 @@ class RampArrivals(ArrivalProcess):
     def time_scaled(self, factor: float) -> "RampArrivals":
         return RampArrivals(self.start_rate, self.end_rate,
                             self.ramp_duration * factor, self.poisson)
+
+
+class SinusoidArrivals(ArrivalProcess):
+    """Arrival rate oscillating sinusoidally around ``base_rate``.
+
+    ``rate(t) = base_rate * (1 + amplitude * sin(2*pi*t / period))``,
+    with gaps drawn from the instantaneous rate like
+    :class:`RampArrivals`.  One period is a compressed day: traffic
+    swells to ``(1+amplitude)`` times the base and ebbs to
+    ``(1-amplitude)`` — the diurnal shape elasticity controllers are
+    sized against.  ``phase`` (fraction of a period) shifts where in
+    the cycle the run starts.
+    """
+
+    def __init__(self, base_rate: float, amplitude: float = 0.6,
+                 period: float = 8.0, phase: float = 0.0,
+                 poisson: bool = True) -> None:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be > 0")
+        if not 0 < amplitude < 1:
+            raise ValueError("amplitude must be in (0, 1) so the rate "
+                             "stays positive")
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.phase = phase
+        self.poisson = poisson
+
+    def mean_rate(self) -> float:
+        return self.base_rate
+
+    def rate_at(self, elapsed: float) -> float:
+        angle = 2 * math.pi * (elapsed / self.period + self.phase)
+        return self.base_rate * (1 + self.amplitude * math.sin(angle))
+
+    def arrival_times(self, rng: random.Random, start: float,
+                      until: float) -> typing.Iterator[float]:
+        at = start
+        while True:
+            rate = self.rate_at(at - start)
+            gap = rng.expovariate(rate) if self.poisson else 1.0 / rate
+            at += gap
+            if at >= until:
+                return
+            yield at
+
+    def scaled(self, factor: float) -> "SinusoidArrivals":
+        return SinusoidArrivals(self.base_rate * factor, self.amplitude,
+                                self.period, self.phase, self.poisson)
+
+    def time_scaled(self, factor: float) -> "SinusoidArrivals":
+        return SinusoidArrivals(self.base_rate, self.amplitude,
+                                self.period * factor, self.phase,
+                                self.poisson)

@@ -127,6 +127,10 @@ class TransactionIssuer:
             collections.deque()
         #: Samples taken at or before this simulated time are recorded.
         self.record_until = float("inf")
+        #: Optional control-plane signal feed (a ``SignalWindow``); the
+        #: open-loop driver installs one so the autoscaler can see
+        #: completion outcomes ungated by the measurement window.
+        self.tap = None
         self.skipped = {"empty_cart": 0, "no_lease": 0, "no_reserve": 0,
                         "no_order": 0}
         # Online consistency observations consumed by the criteria
@@ -171,6 +175,11 @@ class TransactionIssuer:
         return (yield from handler(record))
 
     def _record(self, result, started: float, record: bool) -> None:
+        if self.tap is not None:
+            # Control signals are ungated: the controller must see
+            # load during warm-up and drain, which the metrics window
+            # deliberately excludes.  Pure bookkeeping, no RNG.
+            self.tap.observe_outcome(self.env.now, result.status)
         if record and self.env.now <= self.record_until:
             self.recorder.record(result.operation, result.status,
                                  self.env.now - started,

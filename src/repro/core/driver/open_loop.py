@@ -45,6 +45,9 @@ from repro.core.workload.generator import generate_dataset
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.apps.base import MarketplaceApp
+    from repro.control.autoscaler import Autoscaler, AutoscalerConfig
+    from repro.control.plane import ControlPlane
+    from repro.control.signals import SignalWindow
     from repro.runtime import Environment
     from repro.runtime.faults import FaultSchedule
 
@@ -91,6 +94,10 @@ class OpenLoopConfig:
     #: relative to run start like the hotspot window.  Applied to the
     #: app's actor cluster; apps without one log the events as skipped.
     faults: "FaultSchedule | None" = None
+    #: Optional SLO-driven elasticity: with a config the driver builds
+    #: a control plane over the app, feeds it live signals, and runs an
+    #: :class:`~repro.control.autoscaler.Autoscaler` for the whole run.
+    autoscaler: "AutoscalerConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0 or self.drain < 0:
@@ -128,6 +135,11 @@ class OpenLoopDriver(IssuerStateView):
         self._deadline = 0.0
         self._in_flight = 0
         self._ingested = False
+        #: Control-plane surface of this run (built in :meth:`run` when
+        #: the config carries faults or an autoscaler).
+        self.control: "ControlPlane | None" = None
+        self.autoscaler: "Autoscaler | None" = None
+        self._signals: "SignalWindow | None" = None
         self.stats = {"arrivals": 0, "dispatched": 0, "completed": 0,
                       "shed": 0, "max_in_flight": 0, "max_queue": 0}
 
@@ -160,6 +172,19 @@ class OpenLoopDriver(IssuerStateView):
         self.issuer.record_until = float("inf")
         self.recorder.timeline_origin = self._measure_start
         self.recorder.enabled = True
+        if self.config.faults is not None \
+                or self.config.autoscaler is not None:
+            # One control plane per run: the shared audit log for
+            # scheduled faults and autoscaler actions, and the signal
+            # surface the autoscaler samples.
+            from repro.control.plane import control_plane_for
+            from repro.control.signals import SignalWindow
+
+            window = (SignalWindow(self.config.autoscaler.window)
+                      if self.config.autoscaler is not None
+                      else None)
+            self.control = control_plane_for(self.env, self.app,
+                                             driver=self, window=window)
         self.env.process(self._arrival_source(start), name="arrivals")
         for index in range(self.config.max_in_flight):
             self.env.process(self._dispatcher(), name=f"dispatch-{index}")
@@ -171,7 +196,20 @@ class OpenLoopDriver(IssuerStateView):
             # without one (e.g. the dataflow stack) log them as skipped
             # so the run — and its report — still completes.
             self.config.faults.install(self.env,
-                                       getattr(self.app, "cluster", None))
+                                       getattr(self.app, "cluster", None),
+                                       control=self.control)
+        if self.config.autoscaler is not None:
+            from repro.control.autoscaler import Autoscaler
+
+            # Live signal taps: arrivals and queue delays from the
+            # dispatch path, completion outcomes from the issuer —
+            # ungated by the measurement window, free of RNG use.
+            self._signals = self.control.window
+            self.issuer.tap = self.control.window
+            self.autoscaler = Autoscaler(self.control,
+                                         self.config.autoscaler)
+            self.autoscaler.install(
+                self.env, until=self._deadline + self.config.drain)
         self.env.run(until=self._deadline + self.config.drain)
         # Actual, not nominal: phased/ramped schedules may repeat or
         # hold their last phase when the window outruns them.
@@ -185,6 +223,19 @@ class OpenLoopDriver(IssuerStateView):
                      second=math.floor(entry["time"]
                                        - self._measure_start))
                 for entry in self.config.faults.log]
+        if self.autoscaler is not None:
+            autoscale = self.config.autoscaler
+            open_loop["control"] = {
+                "slo": autoscale.slo.as_dict(),
+                "enabled": autoscale.enabled,
+                "interval": round(autoscale.interval, 6),
+                "min_silos": autoscale.min_silos,
+                "max_silos": autoscale.max_silos,
+                "rate_per_silo": autoscale.rate_per_silo,
+                "samples": list(self.autoscaler.samples),
+                "actions": [dict(entry)
+                            for entry in self.control.action_log],
+            }
         return RunMetrics.from_recorder(
             self.app.name, self.config.max_in_flight,
             self.config.duration, self.recorder,
@@ -215,6 +266,8 @@ class OpenLoopDriver(IssuerStateView):
 
     def _on_arrival(self, at: float) -> None:
         self.stats["arrivals"] += 1
+        if self._signals is not None:
+            self._signals.observe_arrival(at)
         capacity = self.config.queue_capacity
         if capacity is not None and len(self._queue) >= capacity:
             self.stats["shed"] += 1
@@ -235,6 +288,9 @@ class OpenLoopDriver(IssuerStateView):
                 yield waiter
             arrived, operation = self._queue.popleft()
             queue_delay = self.env.now - arrived
+            if self._signals is not None:
+                self._signals.observe_queue_delay(self.env.now,
+                                                  queue_delay)
             self._in_flight += 1
             self.stats["max_in_flight"] = max(
                 self.stats["max_in_flight"], self._in_flight)

@@ -49,10 +49,10 @@ import traceback
 import typing
 
 from repro.analysis.availability import availability_report
-from repro.apps import ALL_APPS, AppConfig
-from repro.core.criteria import audit_app
+from repro.analysis.elasticity import elasticity_report
+from repro.apps import ALL_APPS
+from repro.control.facade import run_scenario
 from repro.core.scenarios import get_scenario, scenario_names
-from repro.runtime import Environment
 
 #: Seconds between liveness sweeps of the worker pool.
 _POLL_INTERVAL = 0.05
@@ -252,6 +252,34 @@ def cell_payload(cell: MatrixCell, metrics, report, app=None) -> dict:
             "state_loss_events": summary.state_loss_events,
             "reroutes": summary.reroutes,
         }
+    elasticity = None
+    if metrics.open_loop.get("control"):
+        story = elasticity_report(metrics.open_loop["control"],
+                                  app=cell.app)
+        if story is not None:
+            elasticity = {
+                "enabled": story.enabled,
+                "slo_violation_seconds":
+                    round(story.slo_violation_seconds, 3),
+                "scaling_lag": (round(story.scaling_lag, 3)
+                                if story.scaling_lag is not None
+                                else None),
+                "recovery_time": (round(story.recovery_time, 3)
+                                  if story.recovery_time is not None
+                                  else None),
+                "recovered": story.recovered,
+                "over_provisioned_area":
+                    round(story.over_provisioned_area, 3),
+                "under_provisioned_area":
+                    round(story.under_provisioned_area, 3),
+                "silo_seconds": round(story.silo_seconds, 3),
+                "ideal_silo_seconds":
+                    round(story.ideal_silo_seconds, 3),
+                "peak_silos": story.peak_silos,
+                "min_silos": story.min_silos,
+                "scale_ups": story.scale_ups,
+                "scale_downs": story.scale_downs,
+            }
     return {
         "cell": cell.as_dict(),
         "duration": metrics.duration,
@@ -265,6 +293,7 @@ def cell_payload(cell: MatrixCell, metrics, report, app=None) -> dict:
             for name, result in sorted(report.results.items())
         },
         "availability": availability,
+        "elasticity": elasticity,
         "memory": memory,
     }
 
@@ -272,26 +301,20 @@ def cell_payload(cell: MatrixCell, metrics, report, app=None) -> dict:
 def run_cell(cell: MatrixCell) -> CellResult:
     """Execute one cell in the current process.
 
-    A raising run is converted to a ``failed`` result (traceback tail
-    in ``error``) so one poisoned cell never aborts a matrix, serial
-    or parallel.
+    The run itself goes through :func:`repro.control.run_scenario` —
+    the one canonical environment/app/driver assembly — so a cell run
+    here is byte-identical to the same scenario run from the CLI.  A
+    raising run is converted to a ``failed`` result (traceback tail in
+    ``error``) so one poisoned cell never aborts a matrix, serial or
+    parallel.
     """
     start = time.perf_counter()
     try:
-        scenario = get_scenario(cell.scenario)
-        env = Environment(seed=cell.seed)
-        app = ALL_APPS[cell.app](env, AppConfig(
-            silos=scenario.effective_silos,
-            cores_per_silo=scenario.effective_cores,
-            approval_rate=scenario.approval_rate,
-            drop_probability=scenario.drop_probability,
-            activation_limit=scenario.activation_limit))
-        driver = scenario.build_driver(
-            env, app, rate_scale=cell.rate_scale,
-            duration_scale=cell.duration_scale, data_seed=cell.seed)
-        metrics = driver.run()
-        report = audit_app(app, driver)
-        payload = cell_payload(cell, metrics, report, app=app)
+        run = run_scenario(cell.scenario, app=cell.app, seed=cell.seed,
+                           rate_scale=cell.rate_scale,
+                           duration_scale=cell.duration_scale)
+        payload = cell_payload(cell, run.metrics, run.report,
+                               app=run.app)
     except Exception as error:  # noqa: BLE001 - recorded, not fatal
         tail = traceback.format_exception_only(type(error), error)
         return CellResult(cell=cell, status="failed",

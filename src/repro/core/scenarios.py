@@ -41,11 +41,23 @@ Scenarios deliberately stress different axes of the four platforms:
                         on first touch under a per-silo activation
                         budget: memory tracks the touched set, not
                         the configured world.
+``diurnal``             a compressed day of sinusoidal traffic against
+                        an SLO-driven autoscaler: capacity follows the
+                        wave up and back down.
+``autoscale-flash-sale``  the flash-sale burst landing on a small
+                        elastic cluster: the autoscaler must scale out
+                        fast enough to restore the p95 SLO and scale
+                        back in once the sale ends.
 
 Rates are expressed relative to ``base_rate`` so one ``--rate-scale``
 knob moves a whole scenario up or down without changing its shape.
 Fault times, like the hotspot window, are relative to run start
-(warm-up included) and stretch with ``--duration-scale``.
+(warm-up included) and stretch with ``--duration-scale``; autoscaler
+cadence and cooldowns stretch the same way (the SLO itself does not).
+
+Scenario runs should go through
+:func:`repro.control.run_scenario` — it performs the canonical
+environment/app/driver assembly — rather than hand-building drivers.
 """
 
 from __future__ import annotations
@@ -53,12 +65,14 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.control.autoscaler import AutoscalerConfig, SLOTarget
 from repro.core.driver.arrivals import (
     ArrivalProcess,
     ConstantRate,
     PhasedArrivals,
     PoissonArrivals,
     RampArrivals,
+    SinusoidArrivals,
 )
 from repro.core.driver.open_loop import (
     HotspotSpec,
@@ -102,6 +116,8 @@ class Scenario:
     hotspot: typing.Callable[[], HotspotSpec] | None = None
     #: Timed membership faults (times relative to run start), or None.
     faults: typing.Callable[[], FaultSchedule] | None = None
+    #: SLO-driven elasticity controller for the run, or None.
+    autoscaler: typing.Callable[[], AutoscalerConfig] | None = None
     #: Cluster shape the scenario is designed for; the CLI and benches
     #: use these as the app defaults (None = leave the app default).
     cluster_silos: int | None = None
@@ -150,6 +166,9 @@ class Scenario:
         faults = self.faults() if self.faults else None
         if faults is not None and duration_scale != 1.0:
             faults = faults.time_scaled(duration_scale)
+        autoscaler = self.autoscaler() if self.autoscaler else None
+        if autoscaler is not None and duration_scale != 1.0:
+            autoscaler = autoscaler.time_scaled(duration_scale)
         return OpenLoopConfig(
             arrivals=arrivals,
             warmup=self.warmup * duration_scale,
@@ -158,7 +177,8 @@ class Scenario:
             max_in_flight=self.max_in_flight,
             queue_capacity=self.queue_capacity,
             hotspot=hotspot,
-            faults=faults)
+            faults=faults,
+            autoscaler=autoscaler)
 
     def build_driver(self, env: "Environment", app: "MarketplaceApp",
                      rate_scale: float = 1.0,
@@ -411,6 +431,67 @@ _register(Scenario(
     warmup=0.5,
     drain=1.5,
     activation_limit=2000,
+))
+
+
+_register(Scenario(
+    name="diurnal",
+    description="A compressed day of traffic — arrival rate swinging "
+                "sinusoidally from 0.35x to 1.65x the base, trough at "
+                "both ends, crest at midday — against an SLO-driven "
+                "autoscaler on a two-silo cluster of single-core "
+                "silos: capacity should follow the wave out and back "
+                "in while the p95 queue-delay SLO holds.",
+    workload=_default_workload(),
+    arrivals=lambda rate: SinusoidArrivals(rate, amplitude=0.7,
+                                           period=10.0, phase=0.75),
+    base_rate=340.0,
+    duration=10.0,
+    warmup=0.5,
+    drain=2.0,
+    max_in_flight=48,
+    # Single-core silos put the crest past the starting capacity, so
+    # the knee — and the controller's reaction to it — is the story.
+    cluster_silos=2,
+    cluster_cores=1,
+    autoscaler=lambda: AutoscalerConfig(
+        slo=SLOTarget(queue_delay_p95=0.050, error_rate=0.05),
+        interval=0.25, window=1.0,
+        min_silos=2, max_silos=5,
+        breach_ticks=2, clear_ticks=4,
+        cooldown_up=0.75, cooldown_down=1.25,
+        rate_per_silo=250.0),
+))
+
+_register(Scenario(
+    name="autoscale-flash-sale",
+    description="The flash-sale burst landing on a two-silo elastic "
+                "cluster instead of a fixed four-silo one: calm "
+                "traffic, a 2.4x spike, then a quiet afternoon.  The "
+                "autoscaler must detect the p95 breach, scale out "
+                "fast enough to restore the SLO, and scale back in "
+                "afterwards — spending fewer silo-seconds than fixed "
+                "provisioning would.",
+    workload=_default_workload(),
+    arrivals=lambda rate: PhasedArrivals([
+        (1.5, PoissonArrivals(rate)),
+        (2.0, PoissonArrivals(rate * 2.4)),
+        (4.5, PoissonArrivals(rate * 0.6)),
+    ]),
+    base_rate=250.0,
+    duration=7.5,
+    warmup=0.5,
+    drain=2.5,
+    max_in_flight=48,
+    cluster_silos=2,
+    cluster_cores=1,
+    autoscaler=lambda: AutoscalerConfig(
+        slo=SLOTarget(queue_delay_p95=0.050, error_rate=0.05),
+        interval=0.25, window=1.0,
+        min_silos=2, max_silos=4,
+        breach_ticks=2, clear_ticks=4,
+        cooldown_up=0.75, cooldown_down=1.25,
+        rate_per_silo=250.0),
 ))
 
 

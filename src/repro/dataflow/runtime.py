@@ -15,6 +15,7 @@ from repro.runtime.resources import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime import Environment, Event
+    from repro.runtime.process import Process
 
 
 @dataclasses.dataclass
@@ -41,6 +42,10 @@ class StatefunConfig:
     checkpoint_sync: float = 0.02
     #: Pause while restoring from a checkpoint after a failure.
     recovery_pause: float = 0.25
+    #: Stop-the-world duration of one rescale (the savepoint-and-
+    #: restore a dataflow engine pays to change parallelism — an order
+    #: of magnitude above a checkpoint sync, well below a recovery).
+    rescale_pause: float = 0.08
     #: Per-worker budget of hot (in-memory) addresses; None = unbounded.
     #: Above the budget, least-recently-used clean addresses spill to
     #: the worker's cold tier (the RocksDB state backend analogue) and
@@ -186,6 +191,12 @@ class StatefunRuntime:
         self.workers = [Worker(env, self, index,
                                self.config.cores_per_partition)
                         for index in range(self.config.partitions)]
+        self._worker_ids = self.config.partitions
+        self.rescales = 0
+        #: Workers scheduled for removal by an in-progress scale-in;
+        #: counted from the moment the command is issued so control
+        #: signals see the pending drain.
+        self.draining_workers = 0
         self._functions: dict[str, StatefulFunction] = {}
         # Exactly-once machinery -----------------------------------------
         #: Ingress messages newer than the last checkpoint offset; the
@@ -483,6 +494,99 @@ class StatefunRuntime:
             self._deliver(replayed)
 
     # ------------------------------------------------------------------
+    # rescaling (the control plane's add_silo / drain_silo verbs)
+    # ------------------------------------------------------------------
+    def add_silo(self, name: str | None = None) -> "Process":
+        """Scale out by one partition worker (stop-the-world rescale).
+
+        Named for the control-plane verb vocabulary shared with the
+        actor cluster; a dataflow engine changes parallelism by
+        savepoint-and-restore, so the rescale runs as a process:
+        pause, pay ``rescale_pause``, repartition every address and
+        queued message under the new ``crc32 % N`` routing, seal a
+        fresh full checkpoint matching the new topology, resume.
+        Returns the rescale process.
+        """
+        return self.env.process(self._rescale(+1),
+                                name=f"rescale-out-{self._worker_ids}")
+
+    def drain_silo(self, target: str | None = None) -> "Process":
+        """Scale in by one partition worker (stop-the-world rescale).
+
+        ``target`` is accepted for verb-signature compatibility and
+        ignored: partitions are anonymous hash ranges, so the newest
+        worker always retires.  Refuses (raises) when a rescale is
+        already shrinking past one worker.
+        """
+        if len(self.workers) - self.draining_workers <= 1:
+            raise ValueError("cannot drain the last partition worker")
+        self.draining_workers += 1
+        return self.env.process(self._rescale(-1),
+                                name=f"rescale-in-{self._worker_ids}")
+
+    def _rescale(self, delta: int):
+        request = self._stw_lock.request()
+        yield request
+        try:
+            yield from self._rescale_locked(delta)
+        finally:
+            if delta < 0:
+                self.draining_workers -= 1
+            self._stw_lock.release(request)
+
+    def _rescale_locked(self, delta: int):
+        yield from self._pause()
+        yield self.env.timeout(self.config.rescale_pause)
+        old_workers = list(self.workers)
+        # Mid-message functions keep executing across the pause (as
+        # they do across checkpoints); remember their addresses so the
+        # new owners re-clone that state at the next checkpoint.
+        carried_active = [worker.active_address for worker in old_workers
+                          if worker.active_address is not None]
+        if delta > 0:
+            self.workers.append(Worker(self.env, self, self._worker_ids,
+                                       self.config.cores_per_partition))
+            self._worker_ids += 1
+        else:
+            self.workers.pop()
+        # Repartition: every address (hot and cold tiers alike) and
+        # every queued message moves to its new ``crc32 % N`` owner.
+        # State dicts move by reference — a suspended function holding
+        # one keeps mutating the object its new owner serves.
+        moved_hot: list[tuple[tuple[str, str], dict]] = []
+        moved_cold: list[tuple[tuple[str, str], dict]] = []
+        moved_queue: list[FunctionMessage] = []
+        for worker in old_workers:
+            moved_hot.extend(worker.state.items())
+            moved_cold.extend(worker.cold.items())
+            moved_queue.extend(worker.queue)
+            worker.state = {}
+            worker.cold = {}
+            worker.dirty = set()
+            worker.queue.clear()
+        for address, state in moved_hot:
+            self.worker_for(address).state[address] = state
+        for address, state in moved_cold:
+            self.worker_for(address).cold[address] = state
+        for message in moved_queue:
+            self.worker_for(message.address()).queue.append(message)
+        # The old checkpoint's per-worker layout no longer matches the
+        # topology; seal a full snapshot so a later failure restores
+        # into the new shape (savepoint semantics).
+        self._last_checkpoint = _Checkpoint(
+            time=self.env.now,
+            ingress_offset=self.ingress_base + len(self.ingress_log),
+            worker_states=self._snapshot_worker_states(full=True),
+            worker_queues=[list(worker.queue)
+                           for worker in self.workers])
+        self._compact_ingress()
+        self._enforce_resident_budget()
+        for address in carried_active:
+            self.worker_for(address).dirty.add(address)
+        self.rescales += 1
+        self._resume()
+
+    # ------------------------------------------------------------------
     @property
     def total_queued(self) -> int:
         return sum(len(worker.queue) for worker in self.workers)
@@ -495,6 +599,19 @@ class StatefunRuntime:
         if state is None:
             state = worker.cold.get(address)
         return state
+
+    def control_stats(self) -> dict:
+        """The uniform control-plane counters (``platform_stats()``
+        fields, see :mod:`repro.control.signals`): partition workers
+        play the silo role on this stack."""
+        return {
+            "silos_live": len(self.workers),
+            "silos_draining": self.draining_workers,
+            "silos_total": len(self.workers),
+            "resident": sum(len(w.state) for w in self.workers),
+            "paged": sum(len(w.cold) for w in self.workers),
+            "messages": self.messages_processed,
+        }
 
     def working_set_stats(self) -> dict:
         """Hot/cold address counters across all workers."""

@@ -13,6 +13,16 @@ cluster — or may not expose the action); the analysis layer correlates
 this log with the per-second throughput/error timelines to compute
 availability windows and recovery times.
 
+The stringly ``action``/``target`` pair is now a thin parsing shim
+over the typed command objects in :mod:`repro.control.actions`
+(:class:`~repro.control.actions.AddSilo` & co.):
+:attr:`FaultEvent.command` parses the strings once, and firing
+dispatches through the same :func:`repro.control.actions.execute` path
+the autoscaler uses.  Installing with ``control=`` (a
+:class:`~repro.control.plane.ControlPlane`) additionally mirrors every
+firing into the plane's audited action log, so scheduled faults and
+autoscaler decisions read as one ordered membership history.
+
 Typical use (what the fault scenarios in ``core/scenarios.py`` do)::
 
     schedule = FaultSchedule([
@@ -33,6 +43,8 @@ import dataclasses
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control.actions import ControlAction
+    from repro.control.plane import ControlPlane
     from repro.runtime.environment import Environment
     from repro.runtime.process import Process
 
@@ -52,6 +64,16 @@ class FaultEvent:
             raise ValueError(f"fault time must be >= 0, got {self.at}")
         if not self.action:
             raise ValueError("fault action must be a method name")
+
+    @property
+    def command(self) -> "ControlAction":
+        """The typed command this event's strings parse into."""
+        # Function-level import: the kernel stays importable without
+        # the control package (which imports core modules that import
+        # this one).
+        from repro.control.actions import parse_action
+
+        return parse_action(self.action, self.target)
 
     def time_scaled(self, factor: float) -> "FaultEvent":
         return dataclasses.replace(self, at=self.at * factor)
@@ -76,39 +98,37 @@ class FaultSchedule:
         return FaultSchedule(event.time_scaled(factor)
                              for event in self.events)
 
-    def install(self, env: "Environment", target: object) -> "Process":
+    def install(self, env: "Environment", target: object,
+                control: "ControlPlane | None" = None) -> "Process":
         """Start the injector process: fire each event at its time.
 
         ``target`` is the object whose methods the events name (pass
         None to record the schedule as skipped — used when an app has
-        no fault-injectable runtime).  Returns the injector process.
+        no fault-injectable runtime).  With ``control`` every firing is
+        also appended to the control plane's shared action log, merging
+        scheduled faults into the same audited membership history the
+        autoscaler writes.  Returns the injector process.
         """
-        return env.process(self._run(env, target), name="fault-injector")
+        return env.process(self._run(env, target, control),
+                           name="fault-injector")
 
-    def _run(self, env: "Environment", target: object):
+    def _run(self, env: "Environment", target: object,
+             control: "ControlPlane | None" = None):
         start = env.now
         for event in self.events:
             fire_at = start + event.at
             if fire_at > env.now:
                 yield env.timeout(fire_at - env.now)
-            self.log.append(self._fire(env, target, event))
+            record = self._fire(env, target, event)
+            self.log.append(record)
+            if control is not None:
+                control.record(record)
 
     def _fire(self, env: "Environment", target: object,
               event: FaultEvent) -> dict:
-        record = {"time": env.now, "at": event.at, "action": event.action,
-                  "target": event.target, "applied": False, "detail": ""}
-        action = getattr(target, event.action, None)
-        if target is None or not callable(action):
-            record["detail"] = "target does not support this action"
-            return record
-        try:
-            if event.target is None:
-                result = action()
-            else:
-                result = action(event.target)
-        except Exception as error:  # noqa: BLE001 - logged, not fatal
-            record["detail"] = f"{type(error).__name__}: {error}"
-            return record
-        record["applied"] = True
-        record["detail"] = repr(result)
-        return record
+        from repro.control.actions import execute
+
+        fired = execute(target, event.command, env.now, source="fault")
+        # Same record as ever, with the relative firing time restored
+        # next to the absolute one (and the dispatch source appended).
+        return dict(time=fired.pop("time"), at=event.at, **fired)

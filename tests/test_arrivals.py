@@ -9,6 +9,7 @@ from repro.core.driver.arrivals import (
     PhasedArrivals,
     PoissonArrivals,
     RampArrivals,
+    SinusoidArrivals,
 )
 
 
@@ -135,3 +136,47 @@ class TestRampArrivals:
         stretched = ramp.time_scaled(0.5)
         assert stretched.ramp_duration == 2.0
         assert stretched.rate_at(2.0) == 100.0
+
+
+class TestSinusoidArrivals:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SinusoidArrivals(0.0)
+        with pytest.raises(ValueError):
+            SinusoidArrivals(100.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            SinusoidArrivals(100.0, period=0.0)
+
+    def test_rate_swings_around_the_base(self):
+        wave = SinusoidArrivals(100.0, amplitude=0.5, period=4.0)
+        assert wave.rate_at(0.0) == pytest.approx(100.0)
+        assert wave.rate_at(1.0) == pytest.approx(150.0)  # crest
+        assert wave.rate_at(3.0) == pytest.approx(50.0)   # trough
+        assert wave.mean_rate() == 100.0
+
+    def test_phase_shifts_the_crest(self):
+        wave = SinusoidArrivals(100.0, amplitude=0.5, period=4.0,
+                                phase=0.25)
+        assert wave.rate_at(0.0) == pytest.approx(150.0)
+
+    def test_density_follows_the_wave(self):
+        wave = SinusoidArrivals(120.0, amplitude=0.8, period=8.0,
+                                poisson=False)
+        arrivals = times(wave, until=8.0)
+        crest = len([at for at in arrivals if 1.0 <= at < 3.0])
+        trough = len([at for at in arrivals if 5.0 <= at < 7.0])
+        assert crest > 3 * trough
+
+    def test_deterministic_under_seeded_rng(self):
+        wave = SinusoidArrivals(80.0, amplitude=0.6, period=5.0)
+        assert times(wave, until=5.0, seed=9) == \
+            times(wave, until=5.0, seed=9)
+
+    def test_scaled_and_time_scaled(self):
+        wave = SinusoidArrivals(100.0, amplitude=0.5, period=4.0)
+        assert wave.scaled(2.0).base_rate == 200.0
+        stretched = wave.time_scaled(2.0)
+        assert stretched.period == 8.0
+        # The same fraction through the cycle gives the same rate.
+        assert stretched.rate_at(2.0) == pytest.approx(
+            wave.rate_at(1.0))

@@ -113,6 +113,18 @@ class TestScenarioCommand:
         assert "throughput timeline" in output
         assert "C1-atomicity" in output
 
+    def test_autoscaled_scenario_prints_controller_timeline(self):
+        stream = io.StringIO()
+        code = main(["scenario", "autoscale-flash-sale",
+                     "--app", "orleans-eventual",
+                     "--rate-scale", "0.4", "--duration-scale", "0.4"],
+                    stream=stream)
+        output = stream.getvalue()
+        assert code == 0
+        assert "autoscaler timeline" in output
+        assert "SLO violation time" in output
+        assert "provisioning vs ideal curve" in output
+
 
 class TestMatrixCommand:
     def test_dry_run_lists_cells_without_running(self):
@@ -131,8 +143,8 @@ class TestMatrixCommand:
         code = main(["matrix", "--dry-run"], stream=stream)
         output = stream.getvalue()
         assert code == 0
-        # 13 scenarios x 4 apps x 1 seed x 1 rate scale.
-        assert "matrix: 52 cells" in output
+        # 15 scenarios x 4 apps x 1 seed x 1 rate scale.
+        assert "matrix: 60 cells" in output
 
     def test_unknown_scenario_filter_rejected(self):
         stream = io.StringIO()

@@ -11,10 +11,12 @@ EXPECTED = {"baseline", "flash-sale", "heavy-writer",
             "burst-then-quiesce", "delete-churn", "overload-ramp",
             "silo-crash", "scale-out-under-load", "rolling-restart",
             "return-storm", "payment-flaky", "duplicate-ingest",
-            "million-keys"}
+            "million-keys", "diurnal", "autoscale-flash-sale"}
 
 FAULT_SCENARIOS = {"silo-crash", "scale-out-under-load",
                    "rolling-restart"}
+
+AUTOSCALED_SCENARIOS = {"diurnal", "autoscale-flash-sale"}
 
 
 class TestRegistry:
@@ -128,3 +130,35 @@ class TestFaultScenarios:
         assert report.fault_second is None
         assert report.unavailability_window is None
         assert all(row["available"] for row in report.rows)
+
+
+class TestAutoscaledScenarios:
+    """The stub app has no scalable runtime: the controller still
+    samples, but its actions record as skipped (the NullControlPlane
+    degradation fault schedules have always used)."""
+
+    @pytest.mark.parametrize("name", sorted(AUTOSCALED_SCENARIOS))
+    def test_control_block_exported(self, name):
+        metrics, driver, app = run_scenario(name)
+        control = metrics.open_loop["control"]
+        assert control["enabled"] is True
+        assert control["samples"], "controller must have sampled"
+        assert all(not entry["applied"]
+                   for entry in control["actions"])
+        assert metrics.total_throughput > 0
+
+    def test_autoscaler_config_stretches_with_duration_scale(self):
+        scenario = get_scenario("autoscale-flash-sale")
+        full = scenario.build_config()
+        half = scenario.build_config(duration_scale=0.5)
+        assert half.autoscaler.interval == \
+            full.autoscaler.interval * 0.5
+        assert half.autoscaler.window == full.autoscaler.window * 0.5
+        # The SLO is a service-time bound, not a schedule: it must not
+        # stretch with the experiment clock.
+        assert half.autoscaler.slo == full.autoscaler.slo
+
+    def test_legacy_scenarios_export_no_control_block(self):
+        metrics, driver, app = run_scenario("baseline")
+        assert "control" not in metrics.open_loop
+

@@ -45,6 +45,9 @@ _LAYOUTS = {
     "p2_scale": ("keys",
                  [("peak MB", "peak_tracked_mb"),
                   ("tx/s wall", "tx_per_wall_s")]),
+    "e0_elasticity": ("cell",
+                      [("violation s", "violation_s"),
+                       ("over silo-s", "over_area")]),
 }
 
 

@@ -25,6 +25,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_P0_hotpath.json"
 SCALE_ARTIFACT = REPO_ROOT / "BENCH_P2_scale.json"
+ELASTICITY_ARTIFACT = REPO_ROOT / "BENCH_E0_elasticity.json"
 BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
 
 WARN_FRACTION = 0.90
@@ -63,6 +64,43 @@ def check_memory_axis() -> int:
     return 0
 
 
+def check_elasticity_axis(baseline: dict) -> int:
+    """Gate the E0 SLO-violation time; skip when bench or floor absent."""
+    floor = baseline.get("elasticity", {}).get("max_violation_seconds")
+    if floor is None:
+        print("elasticity axis: no floor committed in "
+              "perf_baseline.json — skipped")
+        return 0
+    if not ELASTICITY_ARTIFACT.exists():
+        print(f"elasticity axis: {ELASTICITY_ARTIFACT.name} not found — "
+              "skipped (run bench_e0_elasticity.py to enable)")
+        return 0
+    payload = json.loads(ELASTICITY_ARTIFACT.read_text())
+    scale = payload.get("duration_scale") or 1.0
+    status = 0
+    for app, pair in sorted(payload.get("apps", {}).items()):
+        elastic = pair["elastic"]
+        # Quick mode compresses the experiment clock; normalise the
+        # violation time back to the full-length run for the gate.
+        violation = elastic["slo_violation_seconds"] / scale
+        print(f"E0 {app}: violation {violation:.2f}s normalised "
+              f"(limit {floor:.1f}s), "
+              f"recovered={elastic['recovered']}")
+        if not elastic["recovered"]:
+            print(f"FAIL: {app} ended the elastic flash sale out of "
+                  "SLO — the autoscaler no longer restores the p95",
+                  file=sys.stderr)
+            status = 1
+        elif violation > floor:
+            print(f"FAIL: {app} spent {violation:.2f}s out of SLO "
+                  f"(limit {floor:.1f}s) — scale-out has become too "
+                  "slow", file=sys.stderr)
+            status = 1
+    if status == 0:
+        print("elasticity gate: OK")
+    return status
+
+
 def main() -> int:
     if not ARTIFACT.exists():
         print(f"error: {ARTIFACT.name} not found — run the P0 bench first "
@@ -94,7 +132,7 @@ def main() -> int:
               "check recent kernel changes (may be runner noise)")
     else:
         print("perf floor gate: OK")
-    return check_memory_axis()
+    return max(check_memory_axis(), check_elasticity_axis(baseline))
 
 
 if __name__ == "__main__":
